@@ -1,0 +1,36 @@
+"""Figure 12(a): query answering time vs. graph size on the SNB dataset.
+
+Paper setup: |QDB| = 5K, l = 5, σ = 25 %, o = 35 %, graph growing from 10K to
+100K edges.  Reported claim: TRIC improves answering time over INV, INC and
+Neo4j by 99.15 %, 98.14 % and 91.86 % respectively; all caching (+) variants
+beat their non-caching counterparts.
+
+This benchmark replays the scaled SNB stream through all seven engines and
+prints the answering-time series at five graph-size checkpoints.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_clustering_not_slower, timed_out_at_last_x, value_at_last_x
+
+
+def test_fig12a_snb_graph_size(run_figure):
+    result = run_figure("fig12a")
+
+    # Every engine produced a full series.
+    assert len(result.x_values()) >= 1
+    assert set(result.engines()) == {"TRIC", "TRIC+", "INV", "INV+", "INC", "INC+", "GraphDB"}
+
+    # Shape: the clustering engines do not lose to the join-and-explore
+    # baselines once the graph has grown.
+    assert_clustering_not_slower(result, clustered="TRIC+", baseline="INV")
+    assert_clustering_not_slower(result, clustered="TRIC", baseline="INV")
+
+    # The graph-database baseline must never be the overall winner at the end.
+    final_values = {
+        engine: value_at_last_x(result, engine)
+        for engine in result.engines()
+        if value_at_last_x(result, engine) is not None and not timed_out_at_last_x(result, engine)
+    }
+    if "GraphDB" in final_values and len(final_values) > 1:
+        assert min(final_values, key=final_values.get) != "GraphDB"

@@ -1,0 +1,24 @@
+"""Figure 12(b): query answering time vs. selectivity σ on the SNB dataset.
+
+Paper setup: σ varies over 10 %, 15 %, 20 %, 25 %, 30 % with |QDB| = 5K and
+|GE| = 100K.  A larger fraction of satisfied queries means more work for
+every algorithm, but the relative ordering (TRIC+ fastest, TRIC fastest
+non-caching engine) is preserved at every σ.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_clustering_not_slower
+
+
+def test_fig12b_selectivity(run_figure):
+    result = run_figure("fig12b")
+
+    # Five selectivity values, as in the paper.
+    assert result.x_values() == [0.10, 0.15, 0.20, 0.25, 0.30]
+    assert_clustering_not_slower(result, clustered="TRIC+", baseline="INV")
+
+    # The series contains a value for every engine at every σ.
+    series = result.series()
+    for engine, points in series.items():
+        assert len(points) == 5, f"missing selectivity points for {engine}"

@@ -1,0 +1,25 @@
+"""Figure 12(c): query answering time vs. query database size |QDB| (SNB).
+
+Paper setup: |QDB| grows from 1K to 5K queries over a 100K-edge SNB graph
+(log-scale y axis in the paper).  Answering time grows with |QDB| for every
+algorithm; TRIC and TRIC+ stay lowest throughout.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_clustering_not_slower, value_at_last_x
+
+
+def test_fig12c_qdb_size(run_figure):
+    result = run_figure("fig12c")
+
+    # Three query-database sizes (scaled analogues of 1K / 3K / 5K).
+    assert len(result.x_values()) == 3
+    assert_clustering_not_slower(result, clustered="TRIC+", baseline="INV")
+
+    # Growing the query database must not make any engine faster by a large
+    # factor (monotone-ish growth, generous tolerance for noise at tiny scale).
+    for engine, points in result.series().items():
+        values = [value for _, value, timed_out in points if value is not None and not timed_out]
+        if len(values) >= 2 and values[0] > 0:
+            assert values[-1] >= values[0] * 0.25, f"{engine} got drastically faster with more queries"

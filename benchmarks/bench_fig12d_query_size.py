@@ -1,0 +1,21 @@
+"""Figure 12(d): query answering time vs. average query size l (SNB).
+
+Paper setup: l takes the values 3, 5, 7, 9 with |QDB| = 5K and |GE| = 100K.
+Answering time increases with l for every algorithm; the baselines degrade
+much faster than TRIC/TRIC+ at l = 9.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_clustering_not_slower
+
+
+def test_fig12d_query_size(run_figure):
+    result = run_figure("fig12d")
+
+    assert result.x_values() == [3, 5, 7, 9]
+    assert_clustering_not_slower(result, clustered="TRIC+", baseline="INV")
+
+    # Every engine reports a measurement at every query size.
+    for engine, points in result.series().items():
+        assert len(points) == 4, f"missing query-size points for {engine}"

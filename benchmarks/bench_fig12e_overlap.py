@@ -1,0 +1,22 @@
+"""Figure 12(e): query answering time vs. query overlap o (SNB).
+
+Paper setup: o varies over 25 %–65 % with |QDB| = 5K and |GE| = 100K.  Higher
+overlap means more shared sub-patterns; algorithms designed to exploit
+commonalities (TRIC/TRIC+) benefit the most, and TRIC+ stays the fastest
+engine overall.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_clustering_not_slower
+
+
+def test_fig12e_overlap(run_figure):
+    result = run_figure("fig12e")
+
+    assert result.x_values() == [0.25, 0.35, 0.45, 0.55, 0.65]
+    assert_clustering_not_slower(result, clustered="TRIC+", baseline="INV")
+    assert_clustering_not_slower(result, clustered="TRIC+", baseline="GraphDB")
+
+    for engine, points in result.series().items():
+        assert len(points) == 5, f"missing overlap points for {engine}"

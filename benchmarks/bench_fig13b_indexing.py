@@ -1,0 +1,25 @@
+"""Figure 13(b): query insertion (indexing) time as the query database grows.
+
+Paper setup: 1K-query batches are inserted until |QDB| = 5K; the per-query
+indexing time of each batch is reported (log-scale y axis).  The first batch
+is the most expensive (data structures are initialised) and later batches
+are cheaper because queries share structure; indexing time is not a critical
+dimension and stays in the sub-millisecond-to-millisecond range for every
+algorithm.
+"""
+
+from __future__ import annotations
+
+
+def test_fig13b_indexing_time(run_figure):
+    result = run_figure("fig13b")
+
+    assert result.metric == "indexing_ms_per_query"
+    series = result.series()
+    assert set(series) == {"TRIC", "TRIC+", "INV", "INV+", "INC", "INC+", "GraphDB"}
+
+    for engine, points in series.items():
+        values = [value for _, value, _ in points if value is not None]
+        assert values, f"no indexing measurements for {engine}"
+        # Indexing a query must stay cheap (well below 50 ms/query even in CI).
+        assert max(values) < 50.0, f"{engine} indexing time implausibly high: {max(values):.3f} ms"

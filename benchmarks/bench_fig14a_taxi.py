@@ -1,0 +1,24 @@
+"""Figure 14(a): query answering time vs. graph size on the TAXI dataset.
+
+Paper setup: |QDB| = 5K, l = 5, o = 35 %, σ = 25 % over the NYC taxi-ride
+graph growing to 1M edges.  INV/INV+ time out at 210K/300K edges and
+INC/INC+ at 220K/360K; TRIC and TRIC+ improve over Neo4j by 59.68 % and
+81.76 %.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_clustering_not_slower, timed_out_at_last_x
+
+
+def test_fig14a_taxi(run_figure):
+    result = run_figure("fig14a")
+
+    assert len(result.engines()) == 7
+    assert_clustering_not_slower(result, clustered="TRIC+", baseline="INV")
+
+    # The trie-based engine must not be the one that exhausts the budget
+    # while the inverted-index baselines complete.
+    assert not (
+        timed_out_at_last_x(result, "TRIC+") and not timed_out_at_last_x(result, "INV")
+    )

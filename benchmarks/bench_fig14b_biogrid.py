@@ -1,0 +1,25 @@
+"""Figure 14(b): query answering time vs. graph size on BioGRID (stress test).
+
+Paper setup: BioGRID has a single vertex type (protein) and a single edge
+label (interacts), so every update affects the entire query database.  With
+|QDB| = 5K and a 100K-edge graph, INV/INV+/INC time out at 50K edges and
+INC+ at 60K; only TRIC and TRIC+ finish.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_clustering_not_slower, timed_out_at_last_x
+
+
+def test_fig14b_biogrid_stress(run_figure):
+    result = run_figure("fig14b")
+
+    assert len(result.engines()) == 7
+    assert_clustering_not_slower(result, clustered="TRIC+", baseline="INV", slack=2.0)
+
+    # The stress test must never show the trie-based engines timing out while
+    # the inverted-index baselines complete.
+    for baseline in ("INV", "INV+", "INC", "INC+"):
+        assert not (
+            timed_out_at_last_x(result, "TRIC+") and not timed_out_at_last_x(result, baseline)
+        ), f"TRIC+ timed out while {baseline} completed"

@@ -1,0 +1,76 @@
+"""Shared fixtures for the figure-regeneration benchmark suite.
+
+Every file in this directory regenerates one figure/table of the paper's
+evaluation (Section 6).  The experiments run at a small scale by default so
+the whole suite finishes in minutes; set the ``REPRO_BENCH_SCALE``
+environment variable (e.g. ``REPRO_BENCH_SCALE=0.2``) to run larger streams
+and query databases and sharpen the separation between the engines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import pytest
+
+from repro.bench import ExperimentResult, bench_scale_from_env, render_experiment, run_experiment
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Scale factor applied to every experiment in the suite."""
+    return bench_scale_from_env()
+
+
+@pytest.fixture
+def run_figure(benchmark, bench_scale) -> Callable[..., ExperimentResult]:
+    """Run one experiment under pytest-benchmark and print its series table."""
+
+    def _run(experiment_id: str, **overrides) -> ExperimentResult:
+        result = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, scale=bench_scale, **overrides),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(render_experiment(result))
+        return result
+
+    return _run
+
+
+def value_at_last_x(result: ExperimentResult, engine: str) -> Optional[float]:
+    """Metric value of ``engine`` at the largest x value (None when absent)."""
+    series = result.series().get(engine)
+    if not series:
+        return None
+    return series[-1][1]
+
+
+def timed_out_at_last_x(result: ExperimentResult, engine: str) -> bool:
+    """Whether ``engine`` had exhausted the time budget by the last x value."""
+    series = result.series().get(engine)
+    if not series:
+        return False
+    return series[-1][2]
+
+
+def assert_clustering_not_slower(
+    result: ExperimentResult, *, clustered: str = "TRIC+", baseline: str = "INV", slack: float = 1.5
+) -> None:
+    """Loose shape check: the clustering engine is not slower than a baseline.
+
+    ``slack`` tolerates measurement noise at the very small default scale;
+    when the baseline timed out and the clustering engine did not, the check
+    passes immediately (that *is* the paper's shape).
+    """
+    if timed_out_at_last_x(result, baseline) and not timed_out_at_last_x(result, clustered):
+        return
+    clustered_value = value_at_last_x(result, clustered)
+    baseline_value = value_at_last_x(result, baseline)
+    if clustered_value is None or baseline_value is None:
+        return
+    assert clustered_value <= baseline_value * slack, (
+        f"{clustered} ({clustered_value:.3f}) unexpectedly slower than "
+        f"{baseline} ({baseline_value:.3f}) at the largest graph size"
+    )

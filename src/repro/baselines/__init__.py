@@ -1,0 +1,15 @@
+"""Baseline engines: INV/INV+, INC/INC+, the graph-database baseline, the naive oracle."""
+
+from .graphdb_engine import GraphDBEngine
+from .inc import INCEngine, INCPlusEngine
+from .inv import INVEngine, INVPlusEngine
+from .naive import NaiveEngine
+
+__all__ = [
+    "INVEngine",
+    "INVPlusEngine",
+    "INCEngine",
+    "INCPlusEngine",
+    "GraphDBEngine",
+    "NaiveEngine",
+]

@@ -1,0 +1,107 @@
+"""INC / INC+: the incremental inverted-index baselines (paper Section 5.2).
+
+INC reuses INV's inverted indexes but changes how the joins along a covering
+path are executed: instead of re-materializing the whole path from its base
+views, the path join is *seeded with the triggering update* and expanded
+left and right from the position the update matched.  Only when a query has
+several covering paths do the unaffected paths still require full
+materialization for the final cross-path join.
+
+INC+ additionally caches the hash-join build structures, like TRIC+/INV+.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+from ..graph.elements import Edge
+from ..matching.plans import PathPlan, QueryEvaluationPlan
+from ..matching.relation import Row, extend_path_rows
+from ..query.terms import EdgeKey
+from .inv import INVEngine
+
+__all__ = ["INCEngine", "INCPlusEngine"]
+
+
+class INCEngine(INVEngine):
+    """Inverted-index baseline with update-seeded (incremental) path joins."""
+
+    name = "INC"
+
+    # ------------------------------------------------------------------
+    # Answering phase
+    # ------------------------------------------------------------------
+    def _answer_query(self, query_id: str, edge: Edge, new_keys: Sequence[EdgeKey]) -> bool:
+        plan = self._plans[query_id]
+        if any(not self._views.view(key) for key in plan.distinct_keys()):
+            return False
+
+        deltas: Dict[int, Set[Row]] = {}
+        for key in new_keys:
+            for path_index, positions in plan.key_occurrences.get(key, ()):
+                rows: Set[Row] = set()
+                for position in positions:
+                    rows.update(
+                        self._expand_from_update(plan.path_plans[path_index], position, edge)
+                    )
+                if rows:
+                    deltas.setdefault(path_index, set()).update(rows)
+        if not deltas:
+            return False
+
+        # Paths untouched by the update still need their full relation for
+        # the final cross-path join; when several paths are affected their
+        # full relations are needed as well (delta-A joins full-B and vice
+        # versa).
+        full_rows: List[Set[Row]] = []
+        for path_index, path_plan in enumerate(plan.path_plans):
+            needs_full = path_index not in deltas or len(deltas) > 1
+            if needs_full:
+                rows = self._materialize_path(path_plan)
+                if not rows:
+                    return False
+                full_rows.append(rows)
+            else:
+                full_rows.append(set())
+
+        new_bindings = plan.evaluate_delta(
+            deltas,
+            full_rows,
+            join_cache=self._join_cache,
+            injective=self.injective,
+        )
+        return bool(new_bindings)
+
+    def _expand_from_update(self, path_plan: PathPlan, position: int, edge: Edge) -> Set[Row]:
+        """Positional rows of the path that use ``edge`` at edge ``position``.
+
+        Starting from the two positions covered by the update, the partial
+        row is expanded to the right (joining each subsequent edge view on
+        the running endpoint) and then to the left (joining each preceding
+        edge view backwards), exactly the "use only the update" strategy the
+        paper describes for INC.
+        """
+        keys = path_plan.key_sequence
+        partial_rows: List[Row] = [(edge.source, edge.target)]
+        for key in keys[position + 1 :]:
+            if not partial_rows:
+                return set()
+            partial_rows = extend_path_rows(
+                partial_rows, self._views.view(key), cache=self._join_cache, direction="forward"
+            )
+        for key in reversed(keys[:position]):
+            if not partial_rows:
+                return set()
+            partial_rows = extend_path_rows(
+                partial_rows, self._views.view(key), cache=self._join_cache, direction="backward"
+            )
+        return set(partial_rows)
+
+
+class INCPlusEngine(INCEngine):
+    """INC+ — INC with cached hash-join build structures."""
+
+    name = "INC+"
+
+    def __init__(self, *, injective: bool = False) -> None:
+        super().__init__(cache=True, injective=injective)

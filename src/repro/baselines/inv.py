@@ -1,0 +1,208 @@
+"""INV / INV+: the inverted-index baseline engines (paper Section 5.1).
+
+INV indexes query graph patterns at the granularity of *edges* using three
+inverted indexes (``edgeInd``, ``sourceInd``, ``targetInd``).  On every
+update it
+
+1. probes ``edgeInd`` with the update's generalised keys to find the affected
+   queries and discards those with an empty materialized view on any edge,
+2. re-materializes every covering path of each surviving query by joining
+   the base edge views along the path **from scratch** (the expensive
+   "join and explore" the paper criticises), and
+3. joins the path relations to produce the query answers, reporting the ones
+   created by the triggering update.
+
+INV+ is the same algorithm with the hash-join build structures cached and
+reused across updates (paper Section 5.1, "Caching").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..core.engine import ContinuousEngine
+from ..graph.elements import Edge
+from ..matching.cache import JoinCache
+from ..matching.plans import PathPlan, QueryEvaluationPlan, bindings_to_dicts
+from ..matching.relation import Row, extend_path_rows
+from ..matching.views import EdgeViewRegistry
+from ..query.pattern import QueryGraphPattern
+from ..query.terms import EdgeKey
+
+__all__ = ["INVEngine", "INVPlusEngine"]
+
+
+class INVEngine(ContinuousEngine):
+    """Inverted-index baseline with full path re-materialization per update."""
+
+    name = "INV"
+
+    def __init__(self, *, cache: bool = False, injective: bool = False) -> None:
+        super().__init__(injective=injective)
+        self.cache_enabled = cache
+        self._views = EdgeViewRegistry()
+        self._plans: Dict[str, QueryEvaluationPlan] = {}
+        #: edgeInd — generalised edge key -> query ids using it.
+        self._edge_index: Dict[EdgeKey, Set[str]] = {}
+        #: sourceInd / targetInd — vertex term (literal value or ``?var``) ->
+        #: generalised keys whose source / target is that term.
+        self._source_index: Dict[str, Set[EdgeKey]] = {}
+        self._target_index: Dict[str, Set[EdgeKey]] = {}
+        self._join_cache: JoinCache | None = JoinCache() if cache else None
+
+    # ------------------------------------------------------------------
+    # Indexing phase
+    # ------------------------------------------------------------------
+    def _index_query(self, pattern: QueryGraphPattern) -> None:
+        plan = QueryEvaluationPlan(pattern)
+        self._plans[pattern.query_id] = plan
+        for key in plan.distinct_keys():
+            self._views.register(key)
+            self._edge_index.setdefault(key, set()).add(pattern.query_id)
+            self._source_index.setdefault(key.source, set()).add(key)
+            self._target_index.setdefault(key.target, set()).add(key)
+
+    # ------------------------------------------------------------------
+    # Answering phase
+    # ------------------------------------------------------------------
+    def _on_addition(self, edge: Edge) -> FrozenSet[str]:
+        changed = self._views.apply_addition(edge)
+        new_keys = [key for key, is_new in changed if is_new]
+        if not new_keys:
+            return frozenset()
+        affected = self._affected_queries(new_keys)
+        matched: Set[str] = set()
+        for query_id in sorted(affected):
+            if self._answer_query(query_id, edge, new_keys):
+                matched.add(query_id)
+        return frozenset(matched)
+
+    def _affected_queries(self, keys: Sequence[EdgeKey]) -> Set[str]:
+        affected: Set[str] = set()
+        for key in keys:
+            affected.update(self._edge_index.get(key, ()))
+        return affected
+
+    def _answer_query(self, query_id: str, edge: Edge, new_keys: Sequence[EdgeKey]) -> bool:
+        plan = self._plans[query_id]
+        # Step 1 (paper): a query is only a candidate when every one of its
+        # edges has a non-empty materialized view.
+        if any(not self._views.view(key) for key in plan.distinct_keys()):
+            return False
+        full_rows = self._materialize_paths(plan)
+        if full_rows is None:
+            return False
+        deltas = self._path_deltas(plan, full_rows, edge, new_keys)
+        if not deltas:
+            return False
+        new_bindings = plan.evaluate_delta(
+            deltas,
+            full_rows,
+            join_cache=self._join_cache,
+            injective=self.injective,
+        )
+        return bool(new_bindings)
+
+    def _materialize_paths(self, plan: QueryEvaluationPlan) -> List[Set[Row]] | None:
+        """Fully join the base views along every covering path of the query."""
+        full_rows: List[Set[Row]] = []
+        for path_plan in plan.path_plans:
+            rows = self._materialize_path(path_plan)
+            if not rows:
+                return None
+            full_rows.append(rows)
+        return full_rows
+
+    def _materialize_path(self, path_plan: PathPlan) -> Set[Row]:
+        keys = path_plan.key_sequence
+        rows: Set[Row] = set(self._views.view(keys[0]).rows)
+        for key in keys[1:]:
+            if not rows:
+                return set()
+            rows = set(
+                extend_path_rows(rows, self._views.view(key), cache=self._join_cache)
+            )
+        return rows
+
+    @staticmethod
+    def _path_deltas(
+        plan: QueryEvaluationPlan,
+        full_rows: Sequence[Set[Row]],
+        edge: Edge,
+        new_keys: Sequence[EdgeKey],
+    ) -> Dict[int, Set[Row]]:
+        """Positional rows of each affected path that use the new edge."""
+        deltas: Dict[int, Set[Row]] = {}
+        for key in new_keys:
+            for path_index, positions in plan.key_occurrences.get(key, ()):
+                using_edge = {
+                    row
+                    for row in full_rows[path_index]
+                    if any(
+                        row[pos] == edge.source and row[pos + 1] == edge.target
+                        for pos in positions
+                    )
+                }
+                if using_edge:
+                    deltas.setdefault(path_index, set()).update(using_edge)
+        return deltas
+
+    def _on_deletion(self, edge: Edge) -> FrozenSet[str]:
+        affected_keys = self._views.apply_deletion(edge)
+        if not affected_keys:
+            return frozenset()
+        if self._join_cache is not None:
+            self._join_cache.clear()
+        affected = self._affected_queries(affected_keys)
+        invalidated: Set[str] = set()
+        for query_id in affected:
+            if query_id in self._satisfied and not self.matches_of(query_id):
+                invalidated.add(query_id)
+        return frozenset(invalidated)
+
+    # ------------------------------------------------------------------
+    # Answers
+    # ------------------------------------------------------------------
+    def matches_of(self, query_id: str) -> List[Dict[str, str]]:
+        self._require_known(query_id)
+        plan = self._plans[query_id]
+        full_rows = self._materialize_paths(plan)
+        if full_rows is None:
+            return []
+        bindings = plan.evaluate_full(
+            full_rows, join_cache=self._join_cache, injective=self.injective
+        )
+        return bindings_to_dicts(bindings)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def views(self) -> EdgeViewRegistry:
+        """The base materialized views (read-only use)."""
+        return self._views
+
+    def statistics(self) -> Dict[str, int]:
+        """Index statistics for reports."""
+        return {
+            "indexed_keys": len(self._edge_index),
+            "base_views": len(self._views),
+            "base_view_rows": self._views.total_rows(),
+            "source_terms": len(self._source_index),
+            "target_terms": len(self._target_index),
+        }
+
+    def describe(self) -> Dict[str, object]:
+        description = super().describe()
+        description.update(self.statistics())
+        description["cache"] = self.cache_enabled
+        return description
+
+
+class INVPlusEngine(INVEngine):
+    """INV+ — INV with cached hash-join build structures."""
+
+    name = "INV+"
+
+    def __init__(self, *, injective: bool = False) -> None:
+        super().__init__(cache=True, injective=injective)

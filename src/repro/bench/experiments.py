@@ -1,0 +1,610 @@
+"""Experiment harness regenerating every figure of the paper's evaluation.
+
+Each ``experiment_fig*`` function reproduces one figure/table of Section 6:
+it builds the dataset stream and query workload for that experiment, replays
+the stream through the engines under evaluation, and returns an
+:class:`ExperimentResult` whose series correspond to the lines of the figure
+(answering time per update, indexing time per query, or memory footprint,
+as a function of the figure's x axis).
+
+Graph-size sweeps (Figs. 12a, 12f, 13a, 14a–c) are produced from a *single*
+replay per engine: the per-update latency samples are checkpointed at the
+x-axis positions, which is equivalent to the paper's measurement (average
+answering time while the graph grows) without re-running the stream once per
+point.  Parameter sweeps (Figs. 12b–e, 13b) run one replay per parameter
+value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..datasets import BioGridConfig, BioGridGenerator, SNBConfig, SNBGenerator, TaxiConfig, TaxiGenerator
+from ..engines import create_engine
+from ..graph.errors import BenchmarkError
+from ..graph.stream import GraphStream
+from ..query.generator import QueryWorkload, QueryWorkloadConfig, QueryWorkloadGenerator
+from ..streams.metrics import deep_sizeof
+from ..streams.report import format_table
+from ..streams.runner import ReplayResult, StreamRunner
+from .configs import ExperimentConfig
+
+__all__ = [
+    "SeriesPoint",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+    "build_stream",
+    "build_workload",
+]
+
+
+# ----------------------------------------------------------------------
+# Result containers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One measurement: an engine at one x-axis position of a figure."""
+
+    x: object
+    engine: str
+    answering_ms: float
+    indexing_ms_per_query: float = 0.0
+    memory_mb: Optional[float] = None
+    timed_out: bool = False
+    updates_processed: int = 0
+    matched_updates: int = 0
+
+
+@dataclass
+class ExperimentResult:
+    """All series of one regenerated figure."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    config: ExperimentConfig
+    points: List[SeriesPoint] = field(default_factory=list)
+    metric: str = "answering_ms"
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def engines(self) -> List[str]:
+        """Engines appearing in the result, in first-seen order."""
+        seen: List[str] = []
+        for point in self.points:
+            if point.engine not in seen:
+                seen.append(point.engine)
+        return seen
+
+    def x_values(self) -> List[object]:
+        """X-axis values in first-seen order."""
+        seen: List[object] = []
+        for point in self.points:
+            if point.x not in seen:
+                seen.append(point.x)
+        return seen
+
+    def value_of(self, point: SeriesPoint) -> Optional[float]:
+        """The metric value of ``point`` for this experiment's metric."""
+        if self.metric == "answering_ms":
+            return point.answering_ms
+        if self.metric == "indexing_ms_per_query":
+            return point.indexing_ms_per_query
+        if self.metric == "memory_mb":
+            return point.memory_mb
+        raise BenchmarkError(f"unknown metric: {self.metric}")
+
+    def series(self) -> Dict[str, List[Tuple[object, Optional[float], bool]]]:
+        """Per-engine series: list of ``(x, value, timed_out)`` tuples."""
+        result: Dict[str, List[Tuple[object, Optional[float], bool]]] = {}
+        for point in self.points:
+            result.setdefault(point.engine, []).append(
+                (point.x, self.value_of(point), point.timed_out)
+            )
+        return result
+
+    def fastest_engine_at(self, x: object) -> Optional[str]:
+        """Engine with the best (lowest) metric value at ``x``."""
+        candidates = [
+            (self.value_of(p), p.engine)
+            for p in self.points
+            if p.x == x and not p.timed_out and self.value_of(p) is not None
+        ]
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_table(self) -> str:
+        """Text table with one row per x value and one column per engine."""
+        engines = self.engines()
+        headers = [self.x_label] + engines
+        rows = []
+        by_key = {(p.x, p.engine): p for p in self.points}
+        for x in self.x_values():
+            row: List[object] = [x]
+            for engine in engines:
+                point = by_key.get((x, engine))
+                if point is None:
+                    row.append("-")
+                    continue
+                value = self.value_of(point)
+                cell = "-" if value is None else f"{value:.3f}"
+                if point.timed_out:
+                    cell += "*"
+                row.append(cell)
+            rows.append(row)
+        legend = {
+            "answering_ms": "answering time (ms/update)",
+            "indexing_ms_per_query": "indexing time (ms/query)",
+            "memory_mb": "memory (MB)",
+        }[self.metric]
+        header = f"{self.experiment_id}: {self.title}\nmetric: {legend}  (* = time budget exceeded)"
+        return header + "\n" + format_table(headers, rows)
+
+    def to_markdown(self) -> str:
+        """Markdown table used when updating EXPERIMENTS.md."""
+        engines = self.engines()
+        by_key = {(p.x, p.engine): p for p in self.points}
+        lines = [
+            f"| {self.x_label} | " + " | ".join(engines) + " |",
+            "|" + "---|" * (len(engines) + 1),
+        ]
+        for x in self.x_values():
+            cells = []
+            for engine in engines:
+                point = by_key.get((x, engine))
+                if point is None:
+                    cells.append("-")
+                    continue
+                value = self.value_of(point)
+                cell = "-" if value is None else f"{value:.3f}"
+                if point.timed_out:
+                    cell += "\\*"
+                cells.append(cell)
+            lines.append(f"| {x} | " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Workload construction helpers
+# ----------------------------------------------------------------------
+def build_stream(dataset: str, num_updates: int, seed: int) -> GraphStream:
+    """Build the update stream of ``dataset`` with entity pools sized to fit."""
+    if dataset == "snb":
+        config = SNBConfig(
+            num_updates=num_updates,
+            seed=seed,
+            num_persons=max(50, num_updates // 20),
+            num_forums=max(10, num_updates // 100),
+            num_places=max(10, num_updates // 150),
+            num_tags=max(10, num_updates // 150),
+        )
+        return SNBGenerator(config).stream()
+    if dataset == "taxi":
+        config = TaxiConfig(
+            num_updates=num_updates,
+            seed=seed,
+            num_taxis=max(30, num_updates // 40),
+            num_drivers=max(40, num_updates // 30),
+            grid_size=max(6, int(num_updates ** 0.5) // 8),
+        )
+        return TaxiGenerator(config).stream()
+    if dataset == "biogrid":
+        # Keep the per-protein interaction density close to the real dump
+        # (~16 interactions per protein at 1M edges / 63K proteins would blow
+        # up all-variable path views at toy scale, so the scaled stream keeps
+        # a few interactions per protein instead).
+        config = BioGridConfig(
+            num_updates=num_updates,
+            seed=seed,
+            num_proteins=max(80, num_updates // 6),
+        )
+        return BioGridGenerator(config).stream()
+    raise BenchmarkError(f"unknown dataset: {dataset!r}")
+
+
+def build_workload(
+    stream: GraphStream,
+    *,
+    num_queries: int,
+    avg_edges: int,
+    selectivity: float,
+    overlap: float,
+    seed: int,
+) -> QueryWorkload:
+    """Sample the query database for an experiment from ``stream``."""
+    graph = stream.to_graph()
+    config = QueryWorkloadConfig(
+        num_queries=num_queries,
+        avg_edges=avg_edges,
+        selectivity=selectivity,
+        overlap=overlap,
+        seed=seed,
+    )
+    return QueryWorkloadGenerator(graph, config).generate()
+
+
+def _replay_engine(
+    engine_name: str,
+    workload: QueryWorkload,
+    stream: GraphStream,
+    *,
+    time_budget_s: float,
+    measure_memory: bool,
+) -> Tuple[ReplayResult, float]:
+    """Index the workload, replay the stream; returns (result, indexing seconds)."""
+    engine = create_engine(engine_name)
+    runner = StreamRunner(engine, time_budget_s=time_budget_s)
+    indexing_s = runner.index_queries(workload.queries)
+    result = runner.replay(stream, measure_memory=measure_memory)
+    return result, indexing_s
+
+
+def _checkpoint_positions(total: int, num_points: int) -> List[int]:
+    """Evenly spaced checkpoint positions (update counts) along a stream."""
+    num_points = max(1, min(num_points, total))
+    return [max(1, round(total * (i + 1) / num_points)) for i in range(num_points)]
+
+
+def _running_mean_ms(samples: Sequence[float], upto: int) -> float:
+    """Mean of the first ``upto`` latency samples, in milliseconds."""
+    window = samples[:upto]
+    if not window:
+        return 0.0
+    return sum(window) / len(window) * 1e3
+
+
+# ----------------------------------------------------------------------
+# Generic experiment shapes
+# ----------------------------------------------------------------------
+def _graph_size_sweep(
+    config: ExperimentConfig, *, title: str, dataset: str | None = None
+) -> ExperimentResult:
+    """Answering time as the graph grows (Figs. 12a, 12f, 13a, 14a, 14b, 14c)."""
+    dataset = dataset or config.dataset
+    stream = build_stream(dataset, config.scaled_num_updates, config.seed)
+    workload = build_workload(
+        stream,
+        num_queries=config.scaled_num_queries,
+        avg_edges=config.avg_edges,
+        selectivity=config.selectivity,
+        overlap=config.overlap,
+        seed=config.seed + 1,
+    )
+    result = ExperimentResult(
+        experiment_id=config.experiment_id,
+        title=title,
+        x_label="graph size (edges)",
+        config=config,
+    )
+    checkpoints = _checkpoint_positions(len(stream), config.num_points)
+    for engine_name in config.engines:
+        replay, _ = _replay_engine(
+            engine_name,
+            workload,
+            stream,
+            time_budget_s=config.scaled_time_budget_s,
+            measure_memory=config.measure_memory,
+        )
+        samples = replay.answering.samples
+        for checkpoint in checkpoints:
+            reached = checkpoint <= replay.updates_processed
+            result.points.append(
+                SeriesPoint(
+                    x=checkpoint,
+                    engine=engine_name,
+                    answering_ms=_running_mean_ms(samples, checkpoint),
+                    memory_mb=(
+                        replay.memory_bytes / (1024 * 1024)
+                        if replay.memory_bytes is not None
+                        else None
+                    ),
+                    timed_out=not reached,
+                    updates_processed=min(checkpoint, replay.updates_processed),
+                    matched_updates=replay.matched_updates,
+                )
+            )
+    return result
+
+
+def _parameter_sweep(
+    config: ExperimentConfig,
+    *,
+    title: str,
+    x_label: str,
+    values: Sequence[object],
+    workload_override: Callable[[ExperimentConfig, object], Dict[str, object]],
+) -> ExperimentResult:
+    """Answering time as one workload parameter varies (Figs. 12b–12e)."""
+    stream = build_stream(config.dataset, config.scaled_num_updates, config.seed)
+    result = ExperimentResult(
+        experiment_id=config.experiment_id,
+        title=title,
+        x_label=x_label,
+        config=config,
+    )
+    for value in values:
+        overrides = workload_override(config, value)
+        workload = build_workload(
+            stream,
+            num_queries=overrides.get("num_queries", config.scaled_num_queries),
+            avg_edges=overrides.get("avg_edges", config.avg_edges),
+            selectivity=overrides.get("selectivity", config.selectivity),
+            overlap=overrides.get("overlap", config.overlap),
+            seed=config.seed + 1,
+        )
+        for engine_name in config.engines:
+            replay, _ = _replay_engine(
+                engine_name,
+                workload,
+                stream,
+                time_budget_s=config.scaled_time_budget_s,
+                measure_memory=False,
+            )
+            result.points.append(
+                SeriesPoint(
+                    x=value,
+                    engine=engine_name,
+                    answering_ms=replay.answering_time_ms_per_update,
+                    timed_out=replay.timed_out,
+                    updates_processed=replay.updates_processed,
+                    matched_updates=replay.matched_updates,
+                )
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — SNB dataset
+# ----------------------------------------------------------------------
+def experiment_fig12a(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 12(a): answering time vs. graph size, SNB baseline configuration."""
+    return _graph_size_sweep(config, title="SNB — influence of graph size")
+
+
+def experiment_fig12b(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 12(b): answering time vs. selectivity σ (10 %–30 %)."""
+    return _parameter_sweep(
+        config,
+        title="SNB — influence of selectivity σ",
+        x_label="selectivity σ",
+        values=(0.10, 0.15, 0.20, 0.25, 0.30),
+        workload_override=lambda cfg, value: {"selectivity": value},
+    )
+
+
+def experiment_fig12c(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 12(c): answering time vs. query database size |QDB|."""
+    base = config.scaled_num_queries
+    values = [max(10, base // 5), max(10, (base * 3) // 5), base]
+    return _parameter_sweep(
+        config,
+        title="SNB — influence of query database size",
+        x_label="|QDB| (queries)",
+        values=values,
+        workload_override=lambda cfg, value: {"num_queries": value},
+    )
+
+
+def experiment_fig12d(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 12(d): answering time vs. average query size l (3, 5, 7, 9)."""
+    return _parameter_sweep(
+        config,
+        title="SNB — influence of average query size l",
+        x_label="l (edges/query)",
+        values=(3, 5, 7, 9),
+        workload_override=lambda cfg, value: {"avg_edges": value},
+    )
+
+
+def experiment_fig12e(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 12(e): answering time vs. query overlap o (25 %–65 %)."""
+    return _parameter_sweep(
+        config,
+        title="SNB — influence of query overlap o",
+        x_label="overlap o",
+        values=(0.25, 0.35, 0.45, 0.55, 0.65),
+        workload_override=lambda cfg, value: {"overlap": value},
+    )
+
+
+def experiment_fig12f(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 12(f): answering time vs. graph size on the larger SNB stream.
+
+    The inverted-index baselines exhaust the time budget first, reproducing
+    the paper's "timed out" asterisks.
+    """
+    return _graph_size_sweep(config, title="SNB (large) — influence of graph size")
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — scalability, indexing, and memory
+# ----------------------------------------------------------------------
+def experiment_fig13a(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 13(a): answering time on the largest SNB stream (TRIC/TRIC+/GraphDB)."""
+    return _graph_size_sweep(config, title="SNB (extra large) — TRIC vs TRIC+ vs GraphDB")
+
+
+def experiment_fig13b(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 13(b): query insertion (indexing) time as |QDB| grows.
+
+    Queries are registered in batches; the per-query indexing time of each
+    batch is reported at the resulting query-database size.
+    """
+    stream = build_stream(config.dataset, config.scaled_num_updates, config.seed)
+    workload = build_workload(
+        stream,
+        num_queries=config.scaled_num_queries,
+        avg_edges=config.avg_edges,
+        selectivity=config.selectivity,
+        overlap=config.overlap,
+        seed=config.seed + 1,
+    )
+    num_batches = min(5, max(1, config.num_points))
+    batch_size = max(1, len(workload.queries) // num_batches)
+    result = ExperimentResult(
+        experiment_id=config.experiment_id,
+        title="SNB — query insertion time",
+        x_label="|QDB| after batch (queries)",
+        config=config,
+        metric="indexing_ms_per_query",
+    )
+    for engine_name in config.engines:
+        engine = create_engine(engine_name)
+        runner = StreamRunner(engine)
+        registered = 0
+        for start in range(0, len(workload.queries), batch_size):
+            batch = workload.queries[start : start + batch_size]
+            if not batch:
+                continue
+            elapsed = runner.index_queries(batch)
+            registered += len(batch)
+            result.points.append(
+                SeriesPoint(
+                    x=registered,
+                    engine=engine_name,
+                    answering_ms=0.0,
+                    indexing_ms_per_query=elapsed / len(batch) * 1e3,
+                )
+            )
+    return result
+
+
+def experiment_fig13c(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 13(c): memory requirements per engine across the three datasets."""
+    result = ExperimentResult(
+        experiment_id=config.experiment_id,
+        title="Memory requirements (SNB, TAXI, BioGRID)",
+        x_label="dataset",
+        config=config,
+        metric="memory_mb",
+    )
+    for dataset in ("snb", "taxi", "biogrid"):
+        stream = build_stream(dataset, config.scaled_num_updates, config.seed)
+        workload = build_workload(
+            stream,
+            num_queries=config.scaled_num_queries,
+            avg_edges=config.avg_edges,
+            selectivity=config.selectivity,
+            overlap=config.overlap,
+            seed=config.seed + 1,
+        )
+        for engine_name in config.engines:
+            replay, _ = _replay_engine(
+                engine_name,
+                workload,
+                stream,
+                time_budget_s=config.scaled_time_budget_s,
+                measure_memory=True,
+            )
+            memory_mb = (
+                replay.memory_bytes / (1024 * 1024) if replay.memory_bytes is not None else None
+            )
+            result.points.append(
+                SeriesPoint(
+                    x=dataset,
+                    engine=engine_name,
+                    answering_ms=replay.answering_time_ms_per_update,
+                    memory_mb=memory_mb,
+                    timed_out=replay.timed_out,
+                    updates_processed=replay.updates_processed,
+                )
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — TAXI and BioGRID datasets
+# ----------------------------------------------------------------------
+def experiment_fig14a(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 14(a): answering time vs. graph size on the TAXI dataset."""
+    return _graph_size_sweep(config, title="TAXI — influence of graph size", dataset="taxi")
+
+
+def experiment_fig14b(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 14(b): answering time vs. graph size on BioGRID (stress test)."""
+    return _graph_size_sweep(config, title="BioGRID — influence of graph size", dataset="biogrid")
+
+
+def experiment_fig14c(config: ExperimentConfig) -> ExperimentResult:
+    """Fig. 14(c): BioGRID at larger scale (TRIC, TRIC+, GraphDB only)."""
+    return _graph_size_sweep(
+        config, title="BioGRID (large) — TRIC vs TRIC+ vs GraphDB", dataset="biogrid"
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_ALL_ENGINES = ("TRIC", "TRIC+", "INV", "INV+", "INC", "INC+", "GraphDB")
+_TRIO = ("TRIC", "TRIC+", "GraphDB")
+
+#: experiment id -> (default configuration, experiment function)
+EXPERIMENTS: Dict[str, Tuple[ExperimentConfig, Callable[[ExperimentConfig], ExperimentResult]]] = {
+    "fig12a": (ExperimentConfig("fig12a", engines=_ALL_ENGINES), experiment_fig12a),
+    "fig12b": (ExperimentConfig("fig12b", engines=_ALL_ENGINES), experiment_fig12b),
+    "fig12c": (ExperimentConfig("fig12c", engines=_ALL_ENGINES), experiment_fig12c),
+    "fig12d": (ExperimentConfig("fig12d", engines=_ALL_ENGINES), experiment_fig12d),
+    "fig12e": (ExperimentConfig("fig12e", engines=_ALL_ENGINES), experiment_fig12e),
+    "fig12f": (
+        ExperimentConfig("fig12f", engines=_ALL_ENGINES, num_updates=60_000, time_budget_s=240.0),
+        experiment_fig12f,
+    ),
+    "fig13a": (
+        ExperimentConfig("fig13a", engines=_TRIO, num_updates=120_000, time_budget_s=240.0),
+        experiment_fig13a,
+    ),
+    "fig13b": (ExperimentConfig("fig13b", engines=_ALL_ENGINES), experiment_fig13b),
+    "fig13c": (
+        ExperimentConfig("fig13c", engines=_ALL_ENGINES, measure_memory=True),
+        experiment_fig13c,
+    ),
+    "fig14a": (
+        ExperimentConfig("fig14a", dataset="taxi", engines=_ALL_ENGINES, time_budget_s=60.0),
+        experiment_fig14a,
+    ),
+    "fig14b": (
+        ExperimentConfig(
+            "fig14b", dataset="biogrid", engines=_ALL_ENGINES, avg_edges=3, time_budget_s=240.0
+        ),
+        experiment_fig14b,
+    ),
+    "fig14c": (
+        ExperimentConfig(
+            "fig14c",
+            dataset="biogrid",
+            engines=_TRIO,
+            num_updates=60_000,
+            avg_edges=3,
+            time_budget_s=240.0,
+        ),
+        experiment_fig14c,
+    ),
+}
+
+
+def experiment_ids() -> List[str]:
+    """All known experiment identifiers (one per figure of the paper)."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, *, scale: float | None = None, **overrides) -> ExperimentResult:
+    """Run one experiment by id, optionally rescaled or with field overrides."""
+    entry = EXPERIMENTS.get(experiment_id)
+    if entry is None:
+        raise BenchmarkError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
+        )
+    config, function = entry
+    if scale is not None:
+        config = config.with_scale(scale)
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return function(config)

@@ -1,0 +1,104 @@
+"""Command-line entry point regenerating the paper's figures.
+
+Usage (installed as the ``repro-bench`` console script)::
+
+    repro-bench --list
+    repro-bench --experiment fig12a --scale 0.05
+    repro-bench --all --scale 0.02 --output results/
+
+Each experiment prints the regenerated series as a text table (one column per
+engine, one row per x-axis value, ``*`` marking engines that exhausted the
+time budget — the paper's "timed out" asterisks) together with the paper's
+observation for that figure, and can optionally write the tables to files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .configs import DEFAULT_BENCH_SCALE
+from .experiments import EXPERIMENTS, ExperimentResult, experiment_ids, run_experiment
+from .figures import FIGURES
+
+__all__ = ["main", "build_parser", "render_experiment"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the figures of 'Efficient Continuous Multi-Query "
+        "Processing over Graph Streams' (EDBT 2020).",
+    )
+    parser.add_argument("--experiment", "-e", action="append", dest="experiments",
+                        help="experiment id (e.g. fig12a); may be repeated")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="scale factor applied to stream/query sizes and time budgets "
+                        f"(default: experiment default; benchmarks use {DEFAULT_BENCH_SCALE})")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="directory to write one .txt report per experiment")
+    return parser
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """Render an experiment result plus the paper's expectation for that figure."""
+    spec = FIGURES.get(result.experiment_id)
+    lines = [result.to_table()]
+    if spec is not None:
+        lines.append("")
+        lines.append(f"paper ({spec.figure}, {spec.dataset}, varying {spec.varied}):")
+        lines.append(f"  {spec.paper_observation}")
+        lines.append(f"expected shape: {spec.expected_shape}")
+    lines.append("")
+    lines.append("configuration: " + ", ".join(f"{k}={v}" for k, v in result.config.describe().items()))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in experiment_ids():
+            spec = FIGURES[experiment_id]
+            print(f"{experiment_id:8s} {spec.figure:14s} {spec.dataset:18s} varying {spec.varied}")
+        return 0
+
+    selected: List[str]
+    if args.all:
+        selected = experiment_ids()
+    elif args.experiments:
+        selected = list(args.experiments)
+    else:
+        parser.print_help()
+        return 2
+
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+
+    for experiment_id in selected:
+        print(f"=== running {experiment_id} ===", flush=True)
+        result = run_experiment(experiment_id, scale=args.scale)
+        report = render_experiment(result)
+        print(report)
+        print()
+        if args.output is not None:
+            path = args.output / f"{experiment_id}.txt"
+            path.write_text(report + "\n", encoding="utf-8")
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Core contribution: the TRIC / TRIC+ engines and the trie forest."""
+
+from .engine import ContinuousEngine
+from .tric import TRICEngine, TRICPlusEngine
+from .trie import Trie, TrieForest, TrieNode
+
+__all__ = [
+    "ContinuousEngine",
+    "TRICEngine",
+    "TRICPlusEngine",
+    "Trie",
+    "TrieForest",
+    "TrieNode",
+]

@@ -1,0 +1,151 @@
+"""Abstract interface shared by every continuous multi-query engine.
+
+An engine is a long-lived object that
+
+1. *indexes* a set of continuous query graph patterns (the query database
+   ``QDB``), and
+2. consumes a stream of graph updates, reporting after each update which
+   queries gained new answers (for additions) or lost all answers (for
+   deletions).
+
+All engines in this repository — TRIC, TRIC+, INV, INV+, INC, INC+, the
+graph-database baseline and the naive oracle — implement this interface, so
+the replay harness, the benchmarks, and the equivalence tests treat them
+uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, Iterable, List, Mapping
+
+from ..graph.elements import Edge, Update, UpdateKind
+from ..graph.errors import DuplicateQueryError, UnknownQueryError
+from ..query.pattern import QueryGraphPattern
+
+__all__ = ["ContinuousEngine"]
+
+
+class ContinuousEngine(abc.ABC):
+    """Base class for continuous multi-query processing engines.
+
+    Parameters
+    ----------
+    injective:
+        When ``True`` answers must map distinct query vertices to distinct
+        graph vertices (sub-graph isomorphism); the default follows the
+        paper's join-based semantics (homomorphism).
+    """
+
+    #: Short engine name used in reports and plots (overridden by subclasses).
+    name: str = "abstract"
+
+    def __init__(self, *, injective: bool = False) -> None:
+        self.injective = injective
+        self._queries: Dict[str, QueryGraphPattern] = {}
+        self._satisfied: set[str] = set()
+        self._updates_processed = 0
+
+    # ------------------------------------------------------------------
+    # Query database management
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> Mapping[str, QueryGraphPattern]:
+        """The registered query database keyed by query id."""
+        return dict(self._queries)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of registered queries."""
+        return len(self._queries)
+
+    def register(self, pattern: QueryGraphPattern) -> None:
+        """Index one continuous query.
+
+        Raises
+        ------
+        DuplicateQueryError
+            If a query with the same id is already registered.
+        """
+        if pattern.query_id in self._queries:
+            raise DuplicateQueryError(f"query id already registered: {pattern.query_id}")
+        self._queries[pattern.query_id] = pattern
+        self._index_query(pattern)
+
+    def register_all(self, patterns: Iterable[QueryGraphPattern]) -> None:
+        """Index every pattern in ``patterns``."""
+        for pattern in patterns:
+            self.register(pattern)
+
+    def _require_known(self, query_id: str) -> QueryGraphPattern:
+        pattern = self._queries.get(query_id)
+        if pattern is None:
+            raise UnknownQueryError(f"unknown query id: {query_id}")
+        return pattern
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def on_update(self, update: Update) -> FrozenSet[str]:
+        """Process one stream update.
+
+        For an addition, returns the ids of queries that gained at least one
+        new answer because of this update.  For a deletion, returns the ids
+        of queries that were satisfied before and no longer have any answer.
+        """
+        self._updates_processed += 1
+        if update.kind is UpdateKind.ADD:
+            matched = self._on_addition(update.edge)
+            self._satisfied.update(matched)
+            return matched
+        invalidated = self._on_deletion(update.edge)
+        self._satisfied.difference_update(invalidated)
+        return invalidated
+
+    def process(self, updates: Iterable[Update]) -> List[FrozenSet[str]]:
+        """Process many updates; returns the per-update answer sets."""
+        return [self.on_update(update) for update in updates]
+
+    @property
+    def updates_processed(self) -> int:
+        """Number of stream updates consumed so far."""
+        return self._updates_processed
+
+    def satisfied_queries(self) -> FrozenSet[str]:
+        """Ids of queries that currently have at least one reported answer."""
+        return frozenset(self._satisfied)
+
+    # ------------------------------------------------------------------
+    # Hooks implemented by concrete engines
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _index_query(self, pattern: QueryGraphPattern) -> None:
+        """Index ``pattern`` into the engine's data structures."""
+
+    @abc.abstractmethod
+    def _on_addition(self, edge: Edge) -> FrozenSet[str]:
+        """Handle an edge addition; return queries with new answers."""
+
+    @abc.abstractmethod
+    def _on_deletion(self, edge: Edge) -> FrozenSet[str]:
+        """Handle an edge deletion; return queries that lost all answers."""
+
+    @abc.abstractmethod
+    def matches_of(self, query_id: str) -> List[Dict[str, str]]:
+        """Current answers of ``query_id`` as variable-binding dictionaries."""
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Small description dictionary used in benchmark reports."""
+        return {
+            "engine": self.name,
+            "queries": self.num_queries,
+            "updates_processed": self._updates_processed,
+            "satisfied": len(self._satisfied),
+            "injective": self.injective,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(queries={self.num_queries})"

@@ -1,0 +1,348 @@
+"""TRIC and TRIC+: trie-based clustering of continuous graph queries.
+
+This module implements the paper's primary contribution (Section 4):
+
+* **Indexing phase** — every registered query is decomposed into covering
+  paths; each path (generalised: variables become the anonymous ``?var``) is
+  inserted into the trie forest so that structurally identical prefixes of
+  different queries share trie nodes *and* their materialized views.
+* **Answering phase** — an incoming edge addition is matched against the
+  (at most four) generalised keys it satisfies, the affected trie nodes are
+  located through ``edgeInd``, incremental deltas are joined down the tries
+  (pruning sub-tries whose delta dies), and finally the affected queries'
+  covering-path views are joined to produce the new answers.
+
+``TRICEngine(cache=True)`` (exposed as :class:`TRICPlusEngine`) additionally
+caches hash-join build structures and per-path binding relations, which is
+the paper's TRIC+ variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..graph.elements import Edge
+from ..matching.cache import JoinCache
+from ..matching.plans import QueryEvaluationPlan, bindings_to_dicts
+from ..matching.relation import Relation, Row, extend_path_rows
+from ..matching.views import EdgeViewRegistry
+from ..query.pattern import QueryGraphPattern
+from .engine import ContinuousEngine
+from .trie import TrieForest, TrieNode
+
+__all__ = ["TRICEngine", "TRICPlusEngine"]
+
+# affected[(query id)][path index] -> set of new positional rows at the terminal node
+_AffectedMap = Dict[str, Dict[int, Set[Row]]]
+
+
+class TRICEngine(ContinuousEngine):
+    """Trie-based clustering engine (the paper's Algorithm TRIC).
+
+    Parameters
+    ----------
+    cache:
+        Enable the TRIC+ caching strategy: hash-join build structures and
+        per-path binding relations are retained and patched incrementally
+        instead of being rebuilt on every update.
+    injective:
+        Require injective (isomorphism) answer semantics.
+    """
+
+    name = "TRIC"
+
+    def __init__(self, *, cache: bool = False, injective: bool = False) -> None:
+        super().__init__(injective=injective)
+        self.cache_enabled = cache
+        self._forest = TrieForest()
+        self._views = EdgeViewRegistry()
+        self._plans: Dict[str, QueryEvaluationPlan] = {}
+        self._terminals: Dict[str, List[TrieNode]] = {}
+        self._join_cache: JoinCache | None = JoinCache() if cache else None
+        # (query id, path index) -> (terminal-view log position, removal
+        # version, cached binding relation).  The cached relation is patched
+        # with the bindings of freshly appended terminal rows instead of
+        # being rebuilt, and its identity stays stable so the join cache can
+        # keep reusing its build-side hash tables.
+        self._binding_cache: Dict[Tuple[str, int], Tuple[int, int, Relation]] = {}
+
+    # ------------------------------------------------------------------
+    # Indexing phase (paper Fig. 5)
+    # ------------------------------------------------------------------
+    def _index_query(self, pattern: QueryGraphPattern) -> None:
+        plan = QueryEvaluationPlan(pattern)
+        query_id = pattern.query_id
+        self._plans[query_id] = plan
+        terminals: List[TrieNode] = []
+        for path_index, path_plan in enumerate(plan.path_plans):
+            keys = path_plan.key_sequence
+            self._views.register_all(keys)
+            terminal = self._forest.index_path(keys)
+            terminal.query_paths.append((query_id, path_index))
+            terminals.append(terminal)
+            self._backfill_chain(terminal)
+        self._terminals[query_id] = terminals
+
+    def _backfill_chain(self, terminal: TrieNode) -> None:
+        """Recompute the views along a freshly indexed path.
+
+        Registering a query after updates have already been consumed must
+        leave its trie nodes consistent with the base views accumulated so
+        far (shared prefixes may already carry data).  Recomputing the chain
+        root-to-terminal is idempotent for nodes that were already correct.
+        """
+        chain: List[TrieNode] = []
+        node: TrieNode | None = terminal
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        chain.reverse()
+        for node in chain:
+            base = self._views.view(node.key)
+            if node.is_root:
+                rows: Iterable[Row] = set(base.rows)
+            else:
+                rows = self._extend_rows(node.parent.view.rows, base)
+            if set(rows) != node.view.rows:
+                node.view.replace_rows(rows)
+
+    # ------------------------------------------------------------------
+    # Answering phase — additions (paper Figs. 8 and 10)
+    # ------------------------------------------------------------------
+    def _on_addition(self, edge: Edge) -> FrozenSet[str]:
+        changed = self._views.apply_addition(edge)
+        new_keys = [key for key, is_new in changed if is_new]
+        if not new_keys:
+            return frozenset()
+
+        affected_nodes: Dict[int, TrieNode] = {}
+        for key in new_keys:
+            for node in self._forest.nodes_with_key(key):
+                affected_nodes[node.node_id] = node
+        if not affected_nodes:
+            return frozenset()
+
+        affected: _AffectedMap = {}
+        update_row = (edge.source, edge.target)
+        # Shallow nodes first so a parent's view already contains the new
+        # delta when a deeper node with the same key computes its own delta.
+        for node in sorted(affected_nodes.values(), key=lambda n: n.depth):
+            if node.is_root:
+                delta = [update_row]
+            else:
+                delta = self._delta_against_parent(node, edge)
+            added = node.view.add_all(delta)
+            if not added:
+                continue
+            self._record_terminal(node, added, affected)
+            self._propagate(node, added, affected)
+
+        return self._evaluate_affected(affected)
+
+    def _delta_against_parent(self, node: TrieNode, edge: Edge) -> List[Row]:
+        """Delta of a non-root node hit directly by the update.
+
+        Joins the parent's prefix view with the single update tuple: rows of
+        the parent whose last vertex equals the update's source, extended
+        with the update's target.  With caching enabled the parent view's
+        build-side index (keyed by its last column) is cached and patched.
+        """
+        parent_view = node.parent.view
+        last_position = parent_view.arity - 1
+        if self._join_cache is not None:
+            index = self._join_cache.build_index(parent_view, (last_position,))
+            bucket = index.get((edge.source,), ())
+            return [parent_row + (edge.target,) for parent_row in bucket]
+        return [
+            parent_row + (edge.target,)
+            for parent_row in parent_view.rows
+            if parent_row[-1] == edge.source
+        ]
+
+    def _propagate(self, node: TrieNode, delta_rows: Sequence[Row], affected: _AffectedMap) -> None:
+        """Push a delta down the sub-trie, pruning branches whose delta dies."""
+        for child in node.children:
+            base = self._views.get(child.key)
+            if base is None or not base:
+                continue
+            extended = self._extend_rows(delta_rows, base)
+            if not extended:
+                continue
+            added = child.view.add_all(extended)
+            if not added:
+                continue
+            self._record_terminal(child, added, affected)
+            self._propagate(child, added, affected)
+
+    def _extend_rows(self, rows: Iterable[Row], base: Relation) -> List[Row]:
+        """Join prefix rows with a base edge view on ``last column == source``."""
+        return extend_path_rows(rows, base, cache=self._join_cache, direction="forward")
+
+    @staticmethod
+    def _record_terminal(node: TrieNode, added: Sequence[Row], affected: _AffectedMap) -> None:
+        if not node.query_paths:
+            return
+        for query_id, path_index in node.query_paths:
+            affected.setdefault(query_id, {}).setdefault(path_index, set()).update(added)
+
+    def _evaluate_affected(self, affected: _AffectedMap) -> FrozenSet[str]:
+        matched: Set[str] = set()
+        for query_id, deltas in affected.items():
+            plan = self._plans[query_id]
+            terminals = self._terminals[query_id]
+            full_rows = [terminal.view.rows for terminal in terminals]
+            binding_relations = (
+                self._refresh_binding_relations(query_id) if self.cache_enabled else None
+            )
+            new_bindings = plan.evaluate_delta(
+                deltas,
+                full_rows,
+                join_cache=self._join_cache,
+                binding_relations=binding_relations,
+                injective=self.injective,
+            )
+            if new_bindings:
+                matched.add(query_id)
+        return frozenset(matched)
+
+    # ------------------------------------------------------------------
+    # Answering phase — deletions (extension, paper Section 4.3)
+    # ------------------------------------------------------------------
+    def _on_deletion(self, edge: Edge) -> FrozenSet[str]:
+        affected_keys = self._views.apply_deletion(edge)
+        if not affected_keys:
+            return frozenset()
+        # Deletions are rare in the paper's model; correctness is achieved by
+        # rebuilding the affected sub-tries from the base views and dropping
+        # the caches, rather than by counting-based incremental maintenance.
+        if self._join_cache is not None:
+            self._join_cache.clear()
+        self._binding_cache.clear()
+
+        rebuilt: Set[int] = set()
+        affected_queries: Set[str] = set()
+        nodes: Dict[int, TrieNode] = {}
+        for key in affected_keys:
+            for node in self._forest.nodes_with_key(key):
+                nodes[node.node_id] = node
+        for node in sorted(nodes.values(), key=lambda n: n.depth):
+            if node.node_id in rebuilt:
+                continue
+            self._rebuild_subtree(node, rebuilt, affected_queries)
+
+        invalidated: Set[str] = set()
+        for query_id in affected_queries:
+            if query_id not in self._satisfied:
+                continue
+            if not self.matches_of(query_id):
+                invalidated.add(query_id)
+        return frozenset(invalidated)
+
+    def _rebuild_subtree(self, node: TrieNode, rebuilt: Set[int], affected_queries: Set[str]) -> None:
+        base = self._views.view(node.key)
+        if node.is_root:
+            rows: Iterable[Row] = set(base.rows)
+        else:
+            rows = self._extend_rows(node.parent.view.rows, base)
+        node.view.replace_rows(rows)
+        rebuilt.add(node.node_id)
+        affected_queries.update(query_id for query_id, _ in node.query_paths)
+        for child in node.children:
+            self._rebuild_subtree(child, rebuilt, affected_queries)
+
+    # ------------------------------------------------------------------
+    # Answers
+    # ------------------------------------------------------------------
+    def matches_of(self, query_id: str) -> List[Dict[str, str]]:
+        self._require_known(query_id)
+        plan = self._plans[query_id]
+        terminals = self._terminals[query_id]
+        full_rows = [terminal.view.rows for terminal in terminals]
+        binding_relations = (
+            self._refresh_binding_relations(query_id) if self.cache_enabled else None
+        )
+        bindings = plan.evaluate_full(
+            full_rows,
+            join_cache=self._join_cache,
+            binding_relations=binding_relations,
+            injective=self.injective,
+        )
+        return bindings_to_dicts(bindings)
+
+    # ------------------------------------------------------------------
+    # TRIC+ binding-relation cache
+    # ------------------------------------------------------------------
+    def _refresh_binding_relations(self, query_id: str) -> List[Relation]:
+        plan = self._plans[query_id]
+        terminals = self._terminals[query_id]
+        relations: List[Relation] = []
+        for path_index, (path_plan, terminal) in enumerate(zip(plan.path_plans, terminals)):
+            cache_key = (query_id, path_index)
+            entry = self._binding_cache.get(cache_key)
+            view = terminal.view
+            if entry is not None and entry[1] == view.last_removal_version:
+                log_position, _, cached = entry
+                if log_position < view.log_length:
+                    # Patch with the bindings of the rows appended since the
+                    # cache entry was last refreshed; the relation object (and
+                    # therefore its join-cache identity) stays stable.
+                    fresh = path_plan.bindings_from_rows(view.appended_since(log_position))
+                    cached.add_all(fresh.rows - cached.rows)
+                    self._binding_cache[cache_key] = (
+                        view.log_length,
+                        view.last_removal_version,
+                        cached,
+                    )
+                relations.append(cached)
+                continue
+            rebuilt = path_plan.bindings_from_rows(view.rows)
+            self._binding_cache[cache_key] = (
+                view.log_length,
+                view.last_removal_version,
+                rebuilt,
+            )
+            relations.append(rebuilt)
+        return relations
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and reports
+    # ------------------------------------------------------------------
+    @property
+    def forest(self) -> TrieForest:
+        """The underlying trie forest (read-only use)."""
+        return self._forest
+
+    @property
+    def views(self) -> EdgeViewRegistry:
+        """The base materialized views (read-only use)."""
+        return self._views
+
+    def statistics(self) -> Dict[str, int]:
+        """Structural statistics used by reports and clustering tests."""
+        total_path_edges = sum(
+            path_plan.path.length
+            for plan in self._plans.values()
+            for path_plan in plan.path_plans
+        )
+        return {
+            "tries": self._forest.num_tries(),
+            "trie_nodes": self._forest.num_nodes(),
+            "indexed_path_edges": total_path_edges,
+            "base_views": len(self._views),
+            "base_view_rows": self._views.total_rows(),
+        }
+
+    def describe(self) -> Dict[str, object]:
+        description = super().describe()
+        description.update(self.statistics())
+        description["cache"] = self.cache_enabled
+        return description
+
+
+class TRICPlusEngine(TRICEngine):
+    """TRIC+ — TRIC with cached join structures (paper Section 4.2, Caching)."""
+
+    name = "TRIC+"
+
+    def __init__(self, *, injective: bool = False) -> None:
+        super().__init__(cache=True, injective=injective)

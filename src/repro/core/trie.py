@@ -1,0 +1,192 @@
+"""Trie forest clustering the covering paths of the query database.
+
+This is the central data structure of TRIC (paper Section 4.1, Step 2).  Each
+trie indexes covering paths that start with the same generalised edge key;
+paths sharing a prefix share the corresponding chain of trie nodes, and every
+node owns the materialized view of its prefix — one relation with a column
+per path position.  Sharing the node therefore shares both the *structure*
+and the *materialization* between queries.
+
+The forest also maintains the paper's auxiliary indexes:
+
+* ``rootInd``  — first edge key -> trie root (:attr:`TrieForest.roots`),
+* ``edgeInd``  — edge key -> tries containing it (:attr:`TrieForest.edge_index`),
+* ``queryInd`` — kept by the engine: query id -> terminal node per path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..matching.relation import Relation
+from ..query.terms import EdgeKey
+
+__all__ = ["TrieNode", "Trie", "TrieForest"]
+
+_node_ids = itertools.count()
+
+
+def _prefix_schema(depth: int) -> Tuple[str, ...]:
+    """Schema of a node at ``depth`` edges from the root: positions ``p0..pdepth``."""
+    return tuple(f"p{i}" for i in range(depth + 1))
+
+
+class TrieNode:
+    """One trie node: a generalised edge key plus the view of its prefix path."""
+
+    __slots__ = ("node_id", "key", "parent", "children", "depth", "view", "query_paths")
+
+    def __init__(self, key: EdgeKey, parent: "TrieNode | None") -> None:
+        self.node_id = next(_node_ids)
+        self.key = key
+        self.parent = parent
+        self.children: List[TrieNode] = []
+        self.depth = 1 if parent is None else parent.depth + 1
+        self.view = Relation(_prefix_schema(self.depth))
+        #: (query id, path index) pairs whose covering path terminates here.
+        self.query_paths: List[Tuple[str, int]] = []
+
+    @property
+    def is_root(self) -> bool:
+        """``True`` for the first node of a trie (depth 1)."""
+        return self.parent is None
+
+    def child_with_key(self, key: EdgeKey) -> "TrieNode | None":
+        """Return the child indexing ``key`` or ``None``."""
+        for child in self.children:
+            if child.key == key:
+                return child
+        return None
+
+    def add_child(self, key: EdgeKey) -> "TrieNode":
+        """Create (or reuse) the child indexing ``key``."""
+        existing = self.child_with_key(key)
+        if existing is not None:
+            return existing
+        child = TrieNode(key, self)
+        self.children.append(child)
+        return child
+
+    def descendants(self) -> Iterator["TrieNode"]:
+        """Iterate over this node and every node below it (pre-order)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrieNode(id={self.node_id}, depth={self.depth}, key={self.key}, "
+            f"children={len(self.children)}, rows={len(self.view)})"
+        )
+
+
+class Trie:
+    """A single trie rooted at one generalised edge key."""
+
+    def __init__(self, root_key: EdgeKey) -> None:
+        self.root = TrieNode(root_key, None)
+        self._nodes_by_key: Dict[EdgeKey, List[TrieNode]] = {root_key: [self.root]}
+
+    @property
+    def root_key(self) -> EdgeKey:
+        """The edge key indexed by the trie root."""
+        return self.root.key
+
+    def insert_path(self, keys: Sequence[EdgeKey]) -> TrieNode:
+        """Index the key sequence ``keys`` and return its terminal node.
+
+        ``keys[0]`` must equal the root key.  Shared prefixes reuse existing
+        nodes; only the unshared suffix creates new nodes.
+        """
+        if not keys or keys[0] != self.root.key:
+            raise ValueError("path does not start with this trie's root key")
+        node = self.root
+        for key in keys[1:]:
+            child = node.child_with_key(key)
+            if child is None:
+                child = node.add_child(key)
+                self._nodes_by_key.setdefault(key, []).append(child)
+            node = child
+        return node
+
+    def nodes_with_key(self, key: EdgeKey) -> List[TrieNode]:
+        """All nodes of the trie indexing ``key`` (any depth, any branch)."""
+        return list(self._nodes_by_key.get(key, ()))
+
+    def contains_key(self, key: EdgeKey) -> bool:
+        """``True`` when some node of the trie indexes ``key``."""
+        return key in self._nodes_by_key
+
+    def nodes(self) -> Iterator[TrieNode]:
+        """Iterate over every node of the trie."""
+        return self.root.descendants()
+
+    def num_nodes(self) -> int:
+        """Total number of nodes in the trie."""
+        return sum(1 for _ in self.nodes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trie(root={self.root.key}, nodes={self.num_nodes()})"
+
+
+class TrieForest:
+    """The forest of tries plus the root/edge inverted indexes."""
+
+    def __init__(self) -> None:
+        #: rootInd: first edge key of a path -> its trie.
+        self.roots: Dict[EdgeKey, Trie] = {}
+        #: edgeInd: edge key -> tries containing the key anywhere.
+        self.edge_index: Dict[EdgeKey, Set[EdgeKey]] = {}
+
+    def index_path(self, keys: Sequence[EdgeKey]) -> TrieNode:
+        """Index one covering path (as generalised keys); return terminal node."""
+        if not keys:
+            raise ValueError("cannot index an empty key sequence")
+        root_key = keys[0]
+        trie = self.roots.get(root_key)
+        if trie is None:
+            trie = Trie(root_key)
+            self.roots[root_key] = trie
+        terminal = trie.insert_path(keys)
+        for key in keys:
+            self.edge_index.setdefault(key, set()).add(root_key)
+        return terminal
+
+    def tries_containing(self, key: EdgeKey) -> List[Trie]:
+        """Tries whose node set contains ``key`` (the paper's ``edgeInd`` probe)."""
+        root_keys = self.edge_index.get(key, ())
+        return [self.roots[root_key] for root_key in root_keys]
+
+    def nodes_with_key(self, key: EdgeKey) -> List[TrieNode]:
+        """Every trie node in the forest indexing ``key``."""
+        nodes: List[TrieNode] = []
+        for trie in self.tries_containing(key):
+            nodes.extend(trie.nodes_with_key(key))
+        return nodes
+
+    def contains_key(self, key: EdgeKey) -> bool:
+        """``True`` when any trie indexes ``key``."""
+        return key in self.edge_index
+
+    def all_keys(self) -> Set[EdgeKey]:
+        """Every distinct edge key indexed anywhere in the forest."""
+        return set(self.edge_index)
+
+    def num_tries(self) -> int:
+        """Number of tries in the forest."""
+        return len(self.roots)
+
+    def num_nodes(self) -> int:
+        """Total number of trie nodes across the forest."""
+        return sum(trie.num_nodes() for trie in self.roots.values())
+
+    def nodes(self) -> Iterator[TrieNode]:
+        """Iterate over every node of every trie."""
+        for trie in self.roots.values():
+            yield from trie.nodes()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrieForest(tries={self.num_tries()}, nodes={self.num_nodes()})"

@@ -1,0 +1,25 @@
+"""Synthetic dataset generators substituting the paper's three workloads."""
+
+from .base import DatasetConfig, StreamGenerator, ZipfSampler
+from .biogrid import BioGridConfig, BioGridGenerator
+from .snb import SNBConfig, SNBGenerator
+from .taxi import TaxiConfig, TaxiGenerator
+
+__all__ = [
+    "DatasetConfig",
+    "StreamGenerator",
+    "ZipfSampler",
+    "SNBConfig",
+    "SNBGenerator",
+    "TaxiConfig",
+    "TaxiGenerator",
+    "BioGridConfig",
+    "BioGridGenerator",
+]
+
+#: Dataset name -> generator class, used by the benchmark harness.
+DATASET_GENERATORS = {
+    "snb": SNBGenerator,
+    "taxi": TaxiGenerator,
+    "biogrid": BioGridGenerator,
+}

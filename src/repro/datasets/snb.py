@@ -1,0 +1,176 @@
+"""SNB-like social-network activity stream (substitute for LDBC SNB).
+
+The LDBC Social Network Benchmark models the evolution of a social network
+through user activity: account creation, friendships, forum moderation,
+posts, comments, likes and check-ins.  This generator produces a seeded
+stream with the same edge-label alphabet used throughout the paper's
+examples (``knows``, ``hasModerator``, ``posted``, ``replyOf``,
+``containedIn``, ``hasCreator``, ``likes``, ``checksIn``, ``hasTag``,
+``hasInterest``) and with power-law activity per person, so queries over the
+stream exercise the same index/sharing behaviour as the original benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from ..graph.elements import Update
+from ..graph.errors import DatasetError
+from .base import DatasetConfig, StreamGenerator, ZipfSampler
+
+__all__ = ["SNBConfig", "SNBGenerator"]
+
+#: Relative frequency of each activity type, loosely following the SNB
+#: interactive workload mix (content creation dominates, friendship and
+#: structural edges are rarer).
+_ACTIVITY_MIX = (
+    ("post", 0.30),
+    ("comment", 0.22),
+    ("like", 0.18),
+    ("friendship", 0.10),
+    ("checkin", 0.08),
+    ("forum", 0.06),
+    ("tag", 0.04),
+    ("interest", 0.02),
+)
+
+
+@dataclass(frozen=True)
+class SNBConfig(DatasetConfig):
+    """Size knobs of the synthetic social network."""
+
+    num_persons: int = 500
+    num_forums: int = 60
+    num_places: int = 40
+    num_tags: int = 50
+    activity_skew: float = 0.8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for name in ("num_persons", "num_forums", "num_places", "num_tags"):
+            if getattr(self, name) <= 0:
+                raise DatasetError(f"{name} must be positive")
+
+
+class SNBGenerator(StreamGenerator):
+    """Generate an SNB-like activity stream of edge additions."""
+
+    dataset_name = "snb"
+
+    def __init__(self, config: SNBConfig | None = None) -> None:
+        super().__init__(config or SNBConfig())
+        self.config: SNBConfig
+        cfg = self.config
+        self._persons = [f"person{i}" for i in range(cfg.num_persons)]
+        self._forums = [f"forum{i}" for i in range(cfg.num_forums)]
+        self._places = [f"place{i}" for i in range(cfg.num_places)]
+        self._tags = [f"tag{i}" for i in range(cfg.num_tags)]
+        self._person_sampler = ZipfSampler(cfg.num_persons, cfg.activity_skew, self._rng)
+        self._forum_sampler = ZipfSampler(cfg.num_forums, cfg.activity_skew, self._rng)
+        self._posts: List[str] = []
+        self._comments: List[str] = []
+        self._next_post = 0
+        self._next_comment = 0
+        weights = [weight for _, weight in _ACTIVITY_MIX]
+        self._activities = [name for name, _ in _ACTIVITY_MIX]
+        self._weights = weights
+
+    # ------------------------------------------------------------------
+    # Stream production
+    # ------------------------------------------------------------------
+    def updates(self) -> Iterator[Update]:
+        # Seed the network with a moderator per forum so content activities
+        # always have a structural context to attach to.
+        for index, forum in enumerate(self._forums):
+            moderator = self._persons[index % len(self._persons)]
+            yield self._edge("hasModerator", forum, moderator)
+        while True:
+            activity = self._rng.choices(self._activities, weights=self._weights, k=1)[0]
+            yield from self._emit(activity)
+
+    def _emit(self, activity: str) -> Iterator[Update]:
+        if activity == "post":
+            yield from self._emit_post()
+        elif activity == "comment":
+            yield from self._emit_comment()
+        elif activity == "like":
+            yield from self._emit_like()
+        elif activity == "friendship":
+            yield from self._emit_friendship()
+        elif activity == "checkin":
+            yield from self._emit_checkin()
+        elif activity == "forum":
+            yield from self._emit_forum_membership()
+        elif activity == "tag":
+            yield from self._emit_tagging()
+        else:
+            yield from self._emit_interest()
+
+    # ------------------------------------------------------------------
+    # Individual activities
+    # ------------------------------------------------------------------
+    def _emit_post(self) -> Iterator[Update]:
+        person = self._sample_person()
+        forum = self._sample_forum()
+        post = f"post{self._next_post}"
+        self._next_post += 1
+        self._posts.append(post)
+        yield self._edge("posted", person, post)
+        yield self._edge("containedIn", post, forum)
+        yield self._edge("hasCreator", post, person)
+
+    def _emit_comment(self) -> Iterator[Update]:
+        if not self._posts:
+            yield from self._emit_post()
+            return
+        person = self._sample_person()
+        parent = self._choice(self._posts)
+        comment = f"comment{self._next_comment}"
+        self._next_comment += 1
+        self._comments.append(comment)
+        yield self._edge("posted", person, comment)
+        yield self._edge("replyOf", comment, parent)
+
+    def _emit_like(self) -> Iterator[Update]:
+        content = self._posts + self._comments
+        if not content:
+            yield from self._emit_post()
+            return
+        person = self._sample_person()
+        yield self._edge("likes", person, self._choice(content))
+
+    def _emit_friendship(self) -> Iterator[Update]:
+        left = self._sample_person()
+        right = self._sample_person()
+        if left == right:
+            right = self._choice(self._persons)
+        yield self._edge("knows", left, right)
+
+    def _emit_checkin(self) -> Iterator[Update]:
+        person = self._sample_person()
+        yield self._edge("checksIn", person, self._choice(self._places))
+
+    def _emit_forum_membership(self) -> Iterator[Update]:
+        person = self._sample_person()
+        yield self._edge("memberOf", person, self._sample_forum())
+
+    def _emit_tagging(self) -> Iterator[Update]:
+        if not self._posts:
+            yield from self._emit_post()
+            return
+        yield self._edge("hasTag", self._choice(self._posts), self._choice(self._tags))
+
+    def _emit_interest(self) -> Iterator[Update]:
+        person = self._sample_person()
+        yield self._edge("hasInterest", person, self._choice(self._tags))
+
+    # ------------------------------------------------------------------
+    # Sampling helpers
+    # ------------------------------------------------------------------
+    def _sample_person(self) -> str:
+        return self._persons[self._person_sampler.sample()]
+
+    def _sample_forum(self) -> str:
+        return self._forums[self._forum_sampler.sample()]

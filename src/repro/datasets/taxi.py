@@ -1,0 +1,83 @@
+"""TAXI-like ride stream (substitute for the DEBS 2015 NYC taxi dataset).
+
+The original dataset contains 160M+ taxi rides with medallion, hack license,
+pickup/drop-off location, payment type and fare information.  The graph
+derived from it in the paper connects rides to the entities involved.  This
+generator produces seeded synthetic rides over a grid of city zones with a
+skewed popularity distribution, yielding an update stream with several edge
+labels and moderate vertex reuse — the structural regime of the paper's NYC
+experiment (Fig. 14a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..graph.elements import Update
+from ..graph.errors import DatasetError
+from .base import DatasetConfig, StreamGenerator, ZipfSampler
+
+__all__ = ["TaxiConfig", "TaxiGenerator"]
+
+_PAYMENT_TYPES = ("cash", "card", "voucher")
+_RATE_CODES = ("standard", "jfk", "newark", "negotiated")
+
+
+@dataclass(frozen=True)
+class TaxiConfig(DatasetConfig):
+    """Size knobs of the synthetic taxi network."""
+
+    num_taxis: int = 400
+    num_drivers: int = 600
+    grid_size: int = 12
+    zone_skew: float = 0.9
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for name in ("num_taxis", "num_drivers", "grid_size"):
+            if getattr(self, name) <= 0:
+                raise DatasetError(f"{name} must be positive")
+
+
+class TaxiGenerator(StreamGenerator):
+    """Generate a taxi-ride update stream."""
+
+    dataset_name = "taxi"
+
+    def __init__(self, config: TaxiConfig | None = None) -> None:
+        super().__init__(config or TaxiConfig())
+        self.config: TaxiConfig
+        cfg = self.config
+        self._taxis = [f"taxi{i}" for i in range(cfg.num_taxis)]
+        self._drivers = [f"driver{i}" for i in range(cfg.num_drivers)]
+        self._zones = [
+            f"zone_{x}_{y}" for x in range(cfg.grid_size) for y in range(cfg.grid_size)
+        ]
+        self._zone_sampler = ZipfSampler(len(self._zones), cfg.zone_skew, self._rng)
+        self._taxi_sampler = ZipfSampler(cfg.num_taxis, cfg.zone_skew, self._rng)
+        self._next_ride = 0
+
+    def updates(self) -> Iterator[Update]:
+        while True:
+            yield from self._emit_ride()
+
+    def _emit_ride(self) -> Iterator[Update]:
+        ride = f"ride{self._next_ride}"
+        self._next_ride += 1
+        taxi = self._taxis[self._taxi_sampler.sample()]
+        driver = self._choice(self._drivers)
+        pickup = self._zones[self._zone_sampler.sample()]
+        dropoff = self._zones[self._zone_sampler.sample()]
+        yield self._edge("performedBy", ride, taxi)
+        yield self._edge("drivenBy", ride, driver)
+        yield self._edge("pickupAt", ride, pickup)
+        yield self._edge("dropoffAt", ride, dropoff)
+        yield self._edge("paidWith", ride, self._choice(_PAYMENT_TYPES))
+        if self._rng.random() < 0.25:
+            yield self._edge("ratedAs", ride, self._choice(_RATE_CODES))
+        if self._rng.random() < 0.15:
+            # Occasional shift hand-over links drivers operating the same taxi.
+            other = self._choice(self._drivers)
+            if other != driver:
+                yield self._edge("sharesShiftWith", driver, other)

@@ -1,0 +1,69 @@
+"""Engine registry: build any of the seven evaluated engines by name.
+
+The benchmark harness, the examples, and the tests all construct engines
+through this registry so that the set of algorithms under evaluation is
+defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .baselines.graphdb_engine import GraphDBEngine
+from .baselines.inc import INCEngine, INCPlusEngine
+from .baselines.inv import INVEngine, INVPlusEngine
+from .baselines.naive import NaiveEngine
+from .core.engine import ContinuousEngine
+from .core.tric import TRICEngine, TRICPlusEngine
+from .graph.errors import EngineError
+
+__all__ = [
+    "ENGINE_FACTORIES",
+    "PAPER_ENGINES",
+    "CLUSTERING_ENGINES",
+    "available_engines",
+    "create_engine",
+    "create_engines",
+]
+
+#: Engine name -> zero-argument-friendly factory (keyword args forwarded).
+ENGINE_FACTORIES: Dict[str, Callable[..., ContinuousEngine]] = {
+    "TRIC": TRICEngine,
+    "TRIC+": TRICPlusEngine,
+    "INV": INVEngine,
+    "INV+": INVPlusEngine,
+    "INC": INCEngine,
+    "INC+": INCPlusEngine,
+    "GraphDB": GraphDBEngine,
+    "Naive": NaiveEngine,
+}
+
+#: The seven algorithms compared throughout the paper's evaluation.
+PAPER_ENGINES = ("TRIC", "TRIC+", "INV", "INV+", "INC", "INC+", "GraphDB")
+
+#: The engines that exploit clustering / trie sharing.
+CLUSTERING_ENGINES = ("TRIC", "TRIC+")
+
+
+def available_engines() -> List[str]:
+    """Names of every engine the registry can build."""
+    return list(ENGINE_FACTORIES)
+
+
+def create_engine(name: str, **kwargs) -> ContinuousEngine:
+    """Instantiate the engine called ``name`` (e.g. ``"TRIC+"``).
+
+    Keyword arguments (such as ``injective=True``) are forwarded to the
+    engine constructor.
+    """
+    factory = ENGINE_FACTORIES.get(name)
+    if factory is None:
+        raise EngineError(
+            f"unknown engine {name!r}; available engines: {', '.join(ENGINE_FACTORIES)}"
+        )
+    return factory(**kwargs)
+
+
+def create_engines(names=PAPER_ENGINES, **kwargs) -> Dict[str, ContinuousEngine]:
+    """Instantiate several engines at once, keyed by name."""
+    return {name: create_engine(name, **kwargs) for name in names}

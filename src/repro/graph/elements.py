@@ -1,0 +1,127 @@
+"""Primitive graph elements: vertices, edges, and update events.
+
+The data model follows Definition 3.1 of the paper: an *attribute graph* is a
+directed labelled multigraph.  Vertices are identified by their label (an
+entity identifier such as ``"person:42"`` or ``"pst1"``), and edges carry a
+label drawn from a separate label alphabet (``"knows"``, ``"posted"`` ...).
+
+The streaming model (Definitions 3.2 and 3.3) evolves the graph through
+:class:`Update` events — edge additions (and, as an extension discussed in
+Section 4.3 of the paper, edge deletions).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Vertex",
+    "Edge",
+    "UpdateKind",
+    "Update",
+    "add",
+    "delete",
+]
+
+
+# Vertices are plain strings (their label *is* their identity).  A dedicated
+# alias keeps signatures readable without the cost of a wrapper object on the
+# hot path of the matching engines.
+Vertex = str
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A directed labelled edge ``source --label--> target``.
+
+    Edges are immutable and hashable so that they can serve as dictionary keys
+    in the inverted indexes and materialized-view registries.  Because the
+    graph is a multigraph, the same ``(label, source, target)`` triple may be
+    added several times; multiplicity is tracked by the graph, not the edge.
+    """
+
+    label: str
+    source: Vertex
+    target: Vertex
+
+    def endpoints(self) -> tuple[Vertex, Vertex]:
+        """Return the ``(source, target)`` pair."""
+        return (self.source, self.target)
+
+    def reversed(self) -> "Edge":
+        """Return the edge with source and target swapped (same label)."""
+        return Edge(self.label, self.target, self.source)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.source} -[{self.label}]-> {self.target}"
+
+
+class UpdateKind(enum.Enum):
+    """Kind of a stream update.
+
+    The paper's core model only requires additions; deletions are supported as
+    the extension sketched in its Section 4.3.
+    """
+
+    ADD = "add"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True, slots=True)
+class Update:
+    """A single graph-stream event: one edge addition or deletion.
+
+    Parameters
+    ----------
+    edge:
+        The edge being added or removed.
+    kind:
+        :attr:`UpdateKind.ADD` (default) or :attr:`UpdateKind.DELETE`.
+    timestamp:
+        Logical position of the update in the stream.  The replay harness
+        assigns consecutive integers when the producer does not.
+    """
+
+    edge: Edge
+    kind: UpdateKind = UpdateKind.ADD
+    timestamp: int = 0
+
+    @property
+    def is_addition(self) -> bool:
+        """``True`` when this update adds an edge."""
+        return self.kind is UpdateKind.ADD
+
+    @property
+    def is_deletion(self) -> bool:
+        """``True`` when this update removes an edge."""
+        return self.kind is UpdateKind.DELETE
+
+    def with_timestamp(self, timestamp: int) -> "Update":
+        """Return a copy of this update carrying ``timestamp``."""
+        return Update(self.edge, self.kind, timestamp)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        sign = "+" if self.is_addition else "-"
+        return f"{sign}{self.edge} @t{self.timestamp}"
+
+
+def add(label: str, source: Vertex, target: Vertex, timestamp: int = 0) -> Update:
+    """Convenience constructor for an edge-addition update."""
+    return Update(Edge(label, source, target), UpdateKind.ADD, timestamp)
+
+
+def delete(label: str, source: Vertex, target: Vertex, timestamp: int = 0) -> Update:
+    """Convenience constructor for an edge-deletion update."""
+    return Update(Edge(label, source, target), UpdateKind.DELETE, timestamp)
+
+
+def renumber(updates: Iterable[Update], start: int = 0) -> Iterator[Update]:
+    """Yield ``updates`` with consecutive timestamps starting at ``start``.
+
+    Producers frequently build updates without caring about timestamps; the
+    replay harness uses this helper to impose a total order.
+    """
+    for offset, update in enumerate(updates):
+        yield update.with_timestamp(start + offset)

@@ -1,0 +1,55 @@
+"""Exception hierarchy shared by the graph and query layers.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications embedding the engines can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid operations on an :class:`~repro.graph.Graph`."""
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when deleting or inspecting an edge that is not in the graph."""
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when a vertex lookup fails."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed query graph patterns."""
+
+
+class DecompositionError(QueryError):
+    """Raised when a query pattern cannot be decomposed into covering paths."""
+
+
+class EngineError(ReproError):
+    """Raised for invalid usage of a continuous query engine."""
+
+
+class DuplicateQueryError(EngineError):
+    """Raised when registering a query identifier twice with an engine."""
+
+
+class UnknownQueryError(EngineError):
+    """Raised when unregistering or inspecting a query id that is not indexed."""
+
+
+class StreamError(ReproError):
+    """Raised by the stream replay harness for malformed update streams."""
+
+
+class DatasetError(ReproError):
+    """Raised by the synthetic dataset generators for invalid configuration."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the experiment harness for invalid experiment configuration."""

@@ -1,0 +1,27 @@
+"""Embedded property-graph database substrate (the Neo4j substitute)."""
+
+from .executor import ExecutionResult, QueryExecutor
+from .indexes import AdjacencyIndex, LabelIndex, VertexLabelIndex
+from .planner import QueryPlan, QueryPlanner
+from .query import EdgeConstraint, GraphQuery, compile_pattern
+from .store import PropertyGraphStore, StoredEdge, StoredVertex, StoreStatistics
+from .transactions import Transaction, TransactionManager
+
+__all__ = [
+    "PropertyGraphStore",
+    "StoredVertex",
+    "StoredEdge",
+    "StoreStatistics",
+    "LabelIndex",
+    "AdjacencyIndex",
+    "VertexLabelIndex",
+    "GraphQuery",
+    "EdgeConstraint",
+    "compile_pattern",
+    "QueryPlanner",
+    "QueryPlan",
+    "QueryExecutor",
+    "ExecutionResult",
+    "Transaction",
+    "TransactionManager",
+]

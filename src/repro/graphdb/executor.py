@@ -1,0 +1,190 @@
+"""Backtracking executor for the embedded property-graph store.
+
+Executes a compiled :class:`~repro.graphdb.query.GraphQuery` against a
+:class:`~repro.graphdb.store.PropertyGraphStore` following the order chosen
+by the :class:`~repro.graphdb.planner.QueryPlanner`.  Plans are cached per
+query id and invalidated when the store has grown substantially, emulating
+the parameterised query-plan cache the paper's Neo4j baseline enables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..query.terms import Literal, Variable
+from .planner import QueryPlan, QueryPlanner
+from .query import EdgeConstraint, GraphQuery
+from .store import PropertyGraphStore
+
+__all__ = ["QueryExecutor", "ExecutionResult"]
+
+Assignment = Dict[str, str]
+
+
+class ExecutionResult:
+    """Execution outcome: bindings plus simple execution counters."""
+
+    __slots__ = ("assignments", "constraints_checked", "candidates_scanned")
+
+    def __init__(self, assignments: List[Assignment], constraints_checked: int, candidates_scanned: int) -> None:
+        self.assignments = assignments
+        self.constraints_checked = constraints_checked
+        self.candidates_scanned = candidates_scanned
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def __bool__(self) -> bool:
+        return bool(self.assignments)
+
+    def __iter__(self):
+        return iter(self.assignments)
+
+
+class QueryExecutor:
+    """Plan-driven backtracking pattern matcher with a per-query plan cache."""
+
+    def __init__(self, store: PropertyGraphStore, planner: QueryPlanner | None = None, *, plan_cache_growth: float = 2.0) -> None:
+        self.store = store
+        self.planner = planner or QueryPlanner(store)
+        self._plan_cache: Dict[str, Tuple[int, QueryPlan]] = {}
+        self._plan_cache_growth = plan_cache_growth
+        self.plans_built = 0
+        self.plan_cache_hits = 0
+        # Literal vertices of the query currently being executed; injective
+        # semantics forbid variables from binding to them.
+        self._literal_values: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Plan cache
+    # ------------------------------------------------------------------
+    def plan_for(self, query: GraphQuery) -> QueryPlan:
+        """Return a (possibly cached) execution plan for ``query``."""
+        entry = self._plan_cache.get(query.query_id)
+        current_size = max(1, self.store.num_edges)
+        if entry is not None:
+            planned_size, plan = entry
+            if current_size <= planned_size * self._plan_cache_growth:
+                self.plan_cache_hits += 1
+                return plan
+        plan = self.planner.plan(query)
+        self.plans_built += 1
+        self._plan_cache[query.query_id] = (current_size, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: GraphQuery,
+        *,
+        injective: bool = False,
+        limit: Optional[int] = None,
+    ) -> ExecutionResult:
+        """Enumerate the bindings of ``query`` over the current store contents."""
+        plan = self.plan_for(query)
+        counters = {"constraints": 0, "candidates": 0}
+        results: List[Assignment] = []
+        literal_values = tuple(
+            term.value
+            for constraint in query.constraints
+            for term in (constraint.source, constraint.target)
+            if isinstance(term, Literal)
+        )
+        self._literal_values = literal_values
+        self._search(plan.ordered_constraints, 0, {}, injective, limit, results, counters)
+        unique = self._dedupe(results)
+        return ExecutionResult(unique, counters["constraints"], counters["candidates"])
+
+    def _search(
+        self,
+        constraints: Sequence[EdgeConstraint],
+        position: int,
+        assignment: Assignment,
+        injective: bool,
+        limit: Optional[int],
+        results: List[Assignment],
+        counters: Dict[str, int],
+    ) -> None:
+        if limit is not None and len(results) >= limit:
+            return
+        if position == len(constraints):
+            if not injective or self._is_injective(assignment):
+                results.append(dict(assignment))
+            return
+        constraint = constraints[position]
+        counters["constraints"] += 1
+        for source, target in self._candidates(constraint, assignment, counters):
+            extended = self._bind(constraint, source, target, assignment)
+            if extended is None:
+                continue
+            self._search(constraints, position + 1, extended, injective, limit, results, counters)
+            if limit is not None and len(results) >= limit:
+                return
+
+    def _candidates(
+        self, constraint: EdgeConstraint, assignment: Assignment, counters: Dict[str, int]
+    ):
+        source = self._resolve(constraint.source, assignment)
+        target = self._resolve(constraint.target, assignment)
+        label = constraint.label
+        if source is not None and target is not None:
+            counters["candidates"] += 1
+            if self.store.has_edge(label, source, target):
+                yield (source, target)
+            return
+        if source is not None:
+            for candidate in self.store.successors(source, label):
+                counters["candidates"] += 1
+                yield (source, candidate)
+            return
+        if target is not None:
+            for candidate in self.store.predecessors(target, label):
+                counters["candidates"] += 1
+                yield (candidate, target)
+            return
+        for pair in self.store.edges_with_label(label):
+            counters["candidates"] += 1
+            yield pair
+
+    # ------------------------------------------------------------------
+    # Binding helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(term, assignment: Assignment) -> Optional[str]:
+        if isinstance(term, Literal):
+            return term.value
+        if isinstance(term, Variable):
+            return assignment.get(term.name)
+        return None
+
+    @staticmethod
+    def _bind(constraint: EdgeConstraint, source: str, target: str, assignment: Assignment) -> Optional[Assignment]:
+        extended = dict(assignment)
+        for term, value in ((constraint.source, source), (constraint.target, target)):
+            if isinstance(term, Literal):
+                if term.value != value:
+                    return None
+            else:
+                bound = extended.get(term.name)
+                if bound is None:
+                    extended[term.name] = value
+                elif bound != value:
+                    return None
+        return extended
+
+    def _is_injective(self, assignment: Assignment) -> bool:
+        values = list(assignment.values()) + list(self._literal_values)
+        return len(set(values)) == len(values)
+
+    @staticmethod
+    def _dedupe(assignments: List[Assignment]) -> List[Assignment]:
+        seen: Set[Tuple[Tuple[str, str], ...]] = set()
+        unique: List[Assignment] = []
+        for assignment in assignments:
+            key = tuple(sorted(assignment.items()))
+            if key not in seen:
+                seen.add(key)
+                unique.append(assignment)
+        return unique

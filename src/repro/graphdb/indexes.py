@@ -1,0 +1,106 @@
+"""Secondary indexes of the embedded property-graph store.
+
+The paper's Neo4j baseline configures the database to "build indexes on all
+labels of the schema allowing for faster look up times of nodes".  The
+equivalents here are:
+
+* :class:`LabelIndex` — edge label -> set of (source, target) pairs,
+* :class:`AdjacencyIndex` — per-vertex, per-label adjacency in both
+  directions,
+* :class:`VertexLabelIndex` — vertex label (entity class) -> vertex ids.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Set, Tuple
+
+__all__ = ["LabelIndex", "AdjacencyIndex", "VertexLabelIndex"]
+
+
+class LabelIndex:
+    """Edge-label index: label -> set of (source, target) pairs."""
+
+    def __init__(self) -> None:
+        self._pairs: Dict[str, Set[Tuple[str, str]]] = defaultdict(set)
+
+    def add(self, label: str, source: str, target: str) -> None:
+        """Index one edge occurrence."""
+        self._pairs[label].add((source, target))
+
+    def remove(self, label: str, source: str, target: str) -> None:
+        """Drop one edge occurrence (no-op when absent)."""
+        self._pairs.get(label, set()).discard((source, target))
+
+    def pairs(self, label: str) -> Set[Tuple[str, str]]:
+        """All (source, target) pairs carrying ``label``."""
+        return self._pairs.get(label, set())
+
+    def cardinality(self, label: str) -> int:
+        """Number of distinct edges with ``label`` (used by the planner)."""
+        return len(self._pairs.get(label, ()))
+
+    def labels(self) -> Iterable[str]:
+        """All indexed labels."""
+        return self._pairs.keys()
+
+
+class AdjacencyIndex:
+    """Per-vertex adjacency: ``vertex -> label -> neighbours`` (both directions)."""
+
+    def __init__(self) -> None:
+        self._out: Dict[str, Dict[str, Set[str]]] = defaultdict(dict)
+        self._in: Dict[str, Dict[str, Set[str]]] = defaultdict(dict)
+
+    def add(self, label: str, source: str, target: str) -> None:
+        """Index one edge occurrence."""
+        self._out[source].setdefault(label, set()).add(target)
+        self._in[target].setdefault(label, set()).add(source)
+
+    def remove(self, label: str, source: str, target: str) -> None:
+        """Drop one edge occurrence (no-op when absent)."""
+        targets = self._out.get(source, {}).get(label)
+        if targets is not None:
+            targets.discard(target)
+        sources = self._in.get(target, {}).get(label)
+        if sources is not None:
+            sources.discard(source)
+
+    def successors(self, vertex: str, label: str) -> Set[str]:
+        """Targets reachable from ``vertex`` through ``label``."""
+        return self._out.get(vertex, {}).get(label, set())
+
+    def predecessors(self, vertex: str, label: str) -> Set[str]:
+        """Sources reaching ``vertex`` through ``label``."""
+        return self._in.get(vertex, {}).get(label, set())
+
+    def out_degree(self, vertex: str) -> int:
+        """Distinct outgoing (label, target) pairs of ``vertex``."""
+        return sum(len(ts) for ts in self._out.get(vertex, {}).values())
+
+    def in_degree(self, vertex: str) -> int:
+        """Distinct incoming (label, source) pairs of ``vertex``."""
+        return sum(len(ss) for ss in self._in.get(vertex, {}).values())
+
+
+class VertexLabelIndex:
+    """Vertex-label (entity class) index: class name -> vertex ids."""
+
+    def __init__(self) -> None:
+        self._members: Dict[str, Set[str]] = defaultdict(set)
+
+    def add(self, vertex_label: str, vertex_id: str) -> None:
+        """Index a vertex under its class label."""
+        self._members[vertex_label].add(vertex_id)
+
+    def remove(self, vertex_label: str, vertex_id: str) -> None:
+        """Remove a vertex from a class label (no-op when absent)."""
+        self._members.get(vertex_label, set()).discard(vertex_id)
+
+    def members(self, vertex_label: str) -> Set[str]:
+        """All vertices of class ``vertex_label``."""
+        return self._members.get(vertex_label, set())
+
+    def cardinality(self, vertex_label: str) -> int:
+        """Number of vertices of class ``vertex_label``."""
+        return len(self._members.get(vertex_label, ()))

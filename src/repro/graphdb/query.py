@@ -1,0 +1,76 @@
+"""Declarative graph queries for the embedded store.
+
+The paper's baseline converts every continuous query into Neo4j's Cypher
+language before execution.  :class:`GraphQuery` plays the same role here: a
+compiled, store-independent description of the pattern (edge constraints over
+literals and named parameters/variables), together with a Cypher-like textual
+rendering used in logs and documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..query.pattern import QueryGraphPattern
+from ..query.terms import Literal, Term, Variable
+
+__all__ = ["EdgeConstraint", "GraphQuery", "compile_pattern"]
+
+
+@dataclass(frozen=True)
+class EdgeConstraint:
+    """One relationship constraint: ``source --label--> target``."""
+
+    label: str
+    source: Term
+    target: Term
+
+    def bound_terms(self) -> Tuple[str, ...]:
+        """Names of the variables referenced by this constraint."""
+        names = []
+        for term in (self.source, self.target):
+            if isinstance(term, Variable):
+                names.append(term.name)
+        return tuple(names)
+
+
+@dataclass(frozen=True)
+class GraphQuery:
+    """A compiled pattern query over the property-graph store."""
+
+    query_id: str
+    constraints: Tuple[EdgeConstraint, ...]
+    variables: Tuple[str, ...]
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of relationship constraints."""
+        return len(self.constraints)
+
+    def to_text(self) -> str:
+        """Cypher-flavoured textual form (for logs, docs, and debugging)."""
+        parts: List[str] = []
+        for constraint in self.constraints:
+            source = _render_term(constraint.source)
+            target = _render_term(constraint.target)
+            parts.append(f"({source})-[:{constraint.label}]->({target})")
+        return_clause = ", ".join(self.variables) if self.variables else "*"
+        return f"MATCH {', '.join(parts)} RETURN {return_clause}"
+
+
+def _render_term(term: Term) -> str:
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Literal):
+        return f"{{id: {term.value!r}}}"
+    raise TypeError(f"unexpected term: {term!r}")
+
+
+def compile_pattern(pattern: QueryGraphPattern) -> GraphQuery:
+    """Compile a :class:`QueryGraphPattern` into a :class:`GraphQuery`."""
+    constraints = tuple(
+        EdgeConstraint(edge.label, edge.source, edge.target) for edge in pattern.edges
+    )
+    variables = tuple(variable.name for variable in pattern.variables())
+    return GraphQuery(pattern.query_id, constraints, variables)

@@ -1,0 +1,21 @@
+"""Materialized views, hash joins, caching, and query evaluation plans."""
+
+from .cache import CacheStatistics, JoinCache
+from .evaluator import count_embeddings, find_embeddings, find_new_embeddings
+from .plans import PathPlan, QueryEvaluationPlan, bindings_to_dicts
+from .relation import Relation, natural_join
+from .views import EdgeViewRegistry
+
+__all__ = [
+    "Relation",
+    "natural_join",
+    "JoinCache",
+    "CacheStatistics",
+    "EdgeViewRegistry",
+    "PathPlan",
+    "QueryEvaluationPlan",
+    "bindings_to_dicts",
+    "find_embeddings",
+    "find_new_embeddings",
+    "count_embeddings",
+]

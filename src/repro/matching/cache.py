@@ -1,0 +1,137 @@
+"""Join-structure caching used by the ``+`` engine variants (TRIC+, INV+, INC+).
+
+Section 4.2 of the paper ("Caching") observes that the hash-join build phase
+repeatedly reconstructs the same hash tables for the same materialized views.
+The ``+`` variants keep those build-side structures and update them
+incrementally instead of rebuilding them from scratch.
+
+:class:`JoinCache` keys build-side hash tables by ``(relation uid, key
+columns)`` and tracks the relation version it was built against.  When the
+relation has since gained rows, the cached table is *patched* with only the
+new rows (cheap) rather than rebuilt; when rows were removed the entry is
+rebuilt from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .relation import Relation, Row
+
+__all__ = ["JoinCache", "CacheStatistics"]
+
+
+class CacheStatistics:
+    """Counters describing how effective a :class:`JoinCache` has been."""
+
+    __slots__ = ("hits", "misses", "incremental_patches", "rebuilds")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.incremental_patches = 0
+        self.rebuilds = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of build-side requests."""
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary (for reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "incremental_patches": self.incremental_patches,
+            "rebuilds": self.rebuilds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheStatistics(hits={self.hits}, misses={self.misses}, "
+            f"patches={self.incremental_patches}, rebuilds={self.rebuilds})"
+        )
+
+
+class _CacheEntry:
+    __slots__ = ("index", "version", "log_position", "removal_version")
+
+    def __init__(
+        self,
+        index: Dict[Tuple[str, ...], List[Row]],
+        version: int,
+        log_position: int,
+        removal_version: int,
+    ) -> None:
+        self.index = index
+        self.version = version
+        self.log_position = log_position
+        self.removal_version = removal_version
+
+
+class JoinCache:
+    """Cache of hash-join build-side tables keyed by relation and key columns."""
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        self._entries: Dict[Tuple[int, Tuple[int, ...]], _CacheEntry] = {}
+        self._max_entries = max_entries
+        self.statistics = CacheStatistics()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached structure."""
+        self._entries.clear()
+
+    def build_index(
+        self, relation: Relation, key_positions: Tuple[int, ...]
+    ) -> Dict[Tuple[str, ...], List[Row]]:
+        """Return a build-side hash table for ``relation`` keyed by ``key_positions``.
+
+        The table maps key tuples to the list of rows carrying that key.  The
+        caller must treat the returned mapping as read-only.
+        """
+        cache_key = (relation.uid, key_positions)
+        entry = self._entries.get(cache_key)
+        if entry is not None and entry.removal_version == relation.last_removal_version:
+            if entry.version == relation.version:
+                self.statistics.hits += 1
+                return entry.index
+            # Rows were only appended since the entry was built: patch the
+            # build table with just the new rows from the append log.
+            self.statistics.hits += 1
+            self.statistics.incremental_patches += 1
+            for row in relation.appended_since(entry.log_position):
+                key = tuple(row[i] for i in key_positions)
+                entry.index.setdefault(key, []).append(row)
+            entry.log_position = relation.log_length
+            entry.version = relation.version
+            return entry.index
+
+        self.statistics.misses += 1
+        if entry is not None:
+            self.statistics.rebuilds += 1
+        index: Dict[Tuple[str, ...], List[Row]] = {}
+        for row in relation.rows:
+            key = tuple(row[i] for i in key_positions)
+            index.setdefault(key, []).append(row)
+        self._entries[cache_key] = _CacheEntry(
+            index, relation.version, relation.log_length, relation.last_removal_version
+        )
+        self._evict_if_needed()
+        return index
+
+    def invalidate(self, relation: Relation) -> None:
+        """Forget every cached structure derived from ``relation``."""
+        stale = [key for key in self._entries if key[0] == relation.uid]
+        for key in stale:
+            del self._entries[key]
+
+    def _evict_if_needed(self) -> None:
+        if self._max_entries is None:
+            return
+        while len(self._entries) > self._max_entries:
+            # FIFO eviction keeps the implementation simple and deterministic.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]

@@ -1,0 +1,178 @@
+"""Backtracking sub-graph matcher over a materialised graph.
+
+This is the reference evaluator used by
+
+* the naive per-query oracle engine (correctness baseline in tests),
+* the graph-database baseline, which re-executes affected queries on the
+  full store after each update, and
+* unit tests that cross-check the incremental engines' answers.
+
+The matcher performs plain backtracking search over query edges with a
+most-constrained-edge-first ordering, resolving candidates through the
+graph's label and adjacency indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graph.elements import Edge
+from ..graph.graph import Graph
+from ..query.pattern import QueryEdge, QueryGraphPattern
+from ..query.terms import Literal, Variable
+
+__all__ = ["find_embeddings", "find_new_embeddings", "count_embeddings"]
+
+Assignment = Dict[str, str]
+
+
+def find_embeddings(
+    graph: Graph,
+    pattern: QueryGraphPattern,
+    *,
+    injective: bool = False,
+    limit: int | None = None,
+) -> List[Assignment]:
+    """Enumerate homomorphisms from ``pattern`` into ``graph``.
+
+    Returns variable assignments (``{variable name: vertex}``).  With
+    ``injective=True`` distinct variables (and literals) must map to distinct
+    vertices, i.e. classic sub-graph isomorphism.  ``limit`` stops the search
+    early once that many embeddings have been found.
+    """
+    results: List[Assignment] = []
+    _search(graph, list(pattern.edges), {}, pattern, injective, limit, results)
+    return _dedupe(results)
+
+
+def find_new_embeddings(
+    graph: Graph,
+    pattern: QueryGraphPattern,
+    new_edge: Edge,
+    *,
+    injective: bool = False,
+    limit: int | None = None,
+) -> List[Assignment]:
+    """Embeddings that *use* ``new_edge`` — i.e. the answers created by it.
+
+    For each query edge whose generalised key matches ``new_edge``, the query
+    edge is pinned onto ``new_edge`` and the remaining edges are matched as
+    usual.  The union over all pinnings is exactly the set of new answers
+    produced by adding ``new_edge`` to the graph (assuming the edge was not
+    present before).
+    """
+    results: List[Assignment] = []
+    for query_edge in pattern.edges:
+        if not query_edge.key.matches(new_edge):
+            continue
+        assignment = _bind_edge(query_edge, new_edge, {})
+        if assignment is None:
+            continue
+        remaining = [e for e in pattern.edges if e.index != query_edge.index]
+        _search(graph, remaining, assignment, pattern, injective, limit, results)
+        if limit is not None and len(results) >= limit:
+            break
+    return _dedupe(results)
+
+
+def count_embeddings(graph: Graph, pattern: QueryGraphPattern, *, injective: bool = False) -> int:
+    """Number of distinct embeddings of ``pattern`` in ``graph``."""
+    return len(find_embeddings(graph, pattern, injective=injective))
+
+
+# ----------------------------------------------------------------------
+# Internal machinery
+# ----------------------------------------------------------------------
+def _dedupe(assignments: Iterable[Assignment]) -> List[Assignment]:
+    seen: Set[Tuple[Tuple[str, str], ...]] = set()
+    unique: List[Assignment] = []
+    for assignment in assignments:
+        key = tuple(sorted(assignment.items()))
+        if key not in seen:
+            seen.add(key)
+            unique.append(assignment)
+    return unique
+
+
+def _resolve(term, assignment: Assignment) -> Optional[str]:
+    """Concrete vertex for ``term`` under ``assignment`` (``None`` if unbound)."""
+    if isinstance(term, Literal):
+        return term.value
+    return assignment.get(term.name)
+
+
+def _bind_term(term, vertex: str, assignment: Assignment) -> Optional[Assignment]:
+    """Extend ``assignment`` so ``term`` maps to ``vertex`` (or ``None`` on clash)."""
+    if isinstance(term, Literal):
+        return assignment if term.value == vertex else None
+    bound = assignment.get(term.name)
+    if bound is None:
+        extended = dict(assignment)
+        extended[term.name] = vertex
+        return extended
+    return assignment if bound == vertex else None
+
+
+def _bind_edge(query_edge: QueryEdge, edge: Edge, assignment: Assignment) -> Optional[Assignment]:
+    """Bind both endpoints of ``query_edge`` onto the concrete ``edge``."""
+    after_source = _bind_term(query_edge.source, edge.source, assignment)
+    if after_source is None:
+        return None
+    return _bind_term(query_edge.target, edge.target, after_source)
+
+
+def _candidate_edges(graph: Graph, query_edge: QueryEdge, assignment: Assignment):
+    """Concrete graph edges that could match ``query_edge`` under ``assignment``."""
+    source = _resolve(query_edge.source, assignment)
+    target = _resolve(query_edge.target, assignment)
+    label = query_edge.label
+    if source is not None and target is not None:
+        edge = Edge(label, source, target)
+        return [edge] if graph.has_edge(edge) else []
+    if source is not None:
+        return [Edge(label, source, t) for t in graph.successors(source, label)]
+    if target is not None:
+        return [Edge(label, s, target) for s in graph.predecessors(target, label)]
+    return [Edge(label, s, t) for s, t in graph.edges_with_label(label)]
+
+
+def _boundness(query_edge: QueryEdge, assignment: Assignment) -> int:
+    """How constrained an edge is: 2 = both endpoints known, 0 = neither."""
+    score = 0
+    if _resolve(query_edge.source, assignment) is not None:
+        score += 1
+    if _resolve(query_edge.target, assignment) is not None:
+        score += 1
+    return score
+
+
+def _search(
+    graph: Graph,
+    remaining: Sequence[QueryEdge],
+    assignment: Assignment,
+    pattern: QueryGraphPattern,
+    injective: bool,
+    limit: int | None,
+    results: List[Assignment],
+) -> None:
+    if limit is not None and len(results) >= limit:
+        return
+    if not remaining:
+        if not injective or _is_injective(assignment, pattern):
+            results.append(dict(assignment))
+        return
+    # Most-constrained edge first: fewest candidate graph edges to try.
+    next_edge = max(remaining, key=lambda e: (_boundness(e, assignment), -e.index))
+    rest = [e for e in remaining if e.index != next_edge.index]
+    for edge in _candidate_edges(graph, next_edge, assignment):
+        extended = _bind_edge(next_edge, edge, assignment)
+        if extended is None:
+            continue
+        _search(graph, rest, extended, pattern, injective, limit, results)
+        if limit is not None and len(results) >= limit:
+            return
+
+
+def _is_injective(assignment: Assignment, pattern: QueryGraphPattern) -> bool:
+    values = list(assignment.values()) + [lit.value for lit in pattern.literals()]
+    return len(set(values)) == len(values)

@@ -1,0 +1,249 @@
+"""Per-query evaluation plans shared by every engine.
+
+A query graph pattern is answered from its covering paths: each path yields a
+relation of *positional* rows (one column per path position), those rows are
+turned into *variable bindings* (within-path repeated-variable constraints
+applied, literal columns dropped), and the binding relations of all paths are
+joined on shared variable names (paper Section 4.1, "Materialization" and
+"Variable Handling").
+
+:class:`QueryEvaluationPlan` encapsulates that per-query logic so that TRIC,
+INV and INC only differ in *how* they produce the per-path positional
+relations (shared trie views vs. per-query joins), not in how the final
+answer is assembled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from ..query.paths import CoveringPath, covering_paths
+from ..query.pattern import QueryGraphPattern
+from ..query.terms import EdgeKey, Literal, Variable
+from .cache import JoinCache
+from .relation import Relation, Row, natural_join
+
+__all__ = ["PathPlan", "QueryEvaluationPlan", "bindings_to_dicts"]
+
+
+def _positional_schema(length: int) -> Tuple[str, ...]:
+    """Column names for a path with ``length`` edges (``length + 1`` positions)."""
+    return tuple(f"p{i}" for i in range(length + 1))
+
+
+class PathPlan:
+    """Evaluation metadata for one covering path of a query."""
+
+    __slots__ = (
+        "path",
+        "terms",
+        "schema",
+        "equality_positions",
+        "variable_positions",
+        "variable_names",
+    )
+
+    def __init__(self, path: CoveringPath) -> None:
+        self.path = path
+        self.terms = path.terms()
+        self.schema = _positional_schema(path.length)
+
+        # Positions that must carry equal values because the same variable
+        # occurs more than once along the path (cycles, self-joins).
+        first_seen: Dict[str, int] = {}
+        equality: List[Tuple[int, int]] = []
+        for position, term in enumerate(self.terms):
+            if isinstance(term, Variable):
+                if term.name in first_seen:
+                    equality.append((first_seen[term.name], position))
+                else:
+                    first_seen[term.name] = position
+        self.equality_positions: Tuple[Tuple[int, int], ...] = tuple(equality)
+        # First position of each variable, in first-occurrence order.
+        self.variable_names: Tuple[str, ...] = tuple(first_seen)
+        self.variable_positions: Tuple[int, ...] = tuple(
+            first_seen[name] for name in self.variable_names
+        )
+
+    @property
+    def key_sequence(self) -> Tuple[EdgeKey, ...]:
+        """Generalised edge keys along the path."""
+        return self.path.key_sequence()
+
+    def positions_of_key(self, key: EdgeKey) -> List[int]:
+        """Edge positions (0-based) along the path whose key equals ``key``."""
+        return [i for i, k in enumerate(self.key_sequence) if k == key]
+
+    # ------------------------------------------------------------------
+    # Positional rows -> variable bindings
+    # ------------------------------------------------------------------
+    def bindings_from_rows(self, rows: Iterable[Row]) -> Relation:
+        """Convert positional path rows into a relation over variable names."""
+        result = Relation(self.variable_names)
+        eq = self.equality_positions
+        var_pos = self.variable_positions
+        for row in rows:
+            if eq and not all(row[i] == row[j] for i, j in eq):
+                continue
+            result.rows.add(tuple(row[p] for p in var_pos))
+        if result.rows:
+            result.version += 1
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PathPlan(length={self.path.length}, vars={self.variable_names})"
+
+
+class QueryEvaluationPlan:
+    """Covering-path decomposition plus answer assembly for one query."""
+
+    def __init__(self, pattern: QueryGraphPattern, paths: Sequence[CoveringPath] | None = None) -> None:
+        self.pattern = pattern
+        if paths is None:
+            paths = covering_paths(pattern)
+        self.path_plans: List[PathPlan] = [PathPlan(path) for path in paths]
+        variables: List[str] = []
+        for plan in self.path_plans:
+            for name in plan.variable_names:
+                if name not in variables:
+                    variables.append(name)
+        self.variable_names: Tuple[str, ...] = tuple(variables)
+        self._literal_values: Tuple[str, ...] = tuple(
+            literal.value for literal in pattern.literals()
+        )
+        # Generalised edge key -> list of (path index, edge positions in path).
+        self.key_occurrences: Dict[EdgeKey, List[Tuple[int, List[int]]]] = {}
+        for path_index, plan in enumerate(self.path_plans):
+            for key in set(plan.key_sequence):
+                positions = plan.positions_of_key(key)
+                self.key_occurrences.setdefault(key, []).append((path_index, positions))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_paths(self) -> int:
+        """Number of covering paths."""
+        return len(self.path_plans)
+
+    def distinct_keys(self) -> Set[EdgeKey]:
+        """All generalised edge keys used by the query's covering paths."""
+        return set(self.key_occurrences)
+
+    def paths_containing(self, key: EdgeKey) -> List[int]:
+        """Indices of covering paths that contain ``key``."""
+        return [index for index, _ in self.key_occurrences.get(key, [])]
+
+    # ------------------------------------------------------------------
+    # Answer assembly
+    # ------------------------------------------------------------------
+    def evaluate_full(
+        self,
+        path_rows: Sequence[Iterable[Row]],
+        *,
+        join_cache: JoinCache | None = None,
+        binding_relations: Sequence[Relation] | None = None,
+        injective: bool = False,
+    ) -> Relation:
+        """Join every path's rows into query-level bindings.
+
+        ``path_rows`` supplies the positional rows of each covering path (in
+        plan order).  ``binding_relations`` may supply pre-converted binding
+        relations (used by the caching engines so the join cache sees stable
+        relation identities); entries set to ``None`` are converted on the
+        fly.
+        """
+        relations: List[Relation] = []
+        for index, plan in enumerate(self.path_plans):
+            prebuilt = binding_relations[index] if binding_relations else None
+            if prebuilt is not None:
+                relations.append(prebuilt)
+            else:
+                relations.append(plan.bindings_from_rows(path_rows[index]))
+        return self._join_bindings(relations, join_cache, injective)
+
+    def evaluate_delta(
+        self,
+        delta_rows_by_path: Mapping[int, Iterable[Row]],
+        full_path_rows: Sequence[Iterable[Row]],
+        *,
+        join_cache: JoinCache | None = None,
+        binding_relations: Sequence[Relation] | None = None,
+        injective: bool = False,
+    ) -> Relation:
+        """Bindings derivable only with the new (delta) rows of affected paths.
+
+        For each affected path its delta rows replace the full relation while
+        the other paths contribute their full relations; the union over
+        affected paths is exactly the set of *new* query answers produced by
+        the triggering update.
+        """
+        result = Relation(self.variable_names)
+        for affected_index, delta_rows in delta_rows_by_path.items():
+            delta_bindings = self.path_plans[affected_index].bindings_from_rows(delta_rows)
+            if not delta_bindings:
+                continue
+            relations: List[Relation] = []
+            for index, plan in enumerate(self.path_plans):
+                if index == affected_index:
+                    relations.append(delta_bindings)
+                    continue
+                prebuilt = binding_relations[index] if binding_relations else None
+                if prebuilt is not None:
+                    relations.append(prebuilt)
+                else:
+                    relations.append(plan.bindings_from_rows(full_path_rows[index]))
+            joined = self._join_bindings(relations, join_cache, injective)
+            result.rows.update(joined.rows)
+        if result.rows:
+            result.version += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _join_bindings(
+        self,
+        relations: List[Relation],
+        join_cache: JoinCache | None,
+        injective: bool,
+    ) -> Relation:
+        if not relations:
+            return Relation(self.variable_names)
+        if any(len(relation) == 0 for relation in relations):
+            return Relation(self.variable_names)
+        # Join smaller relations first to keep intermediate results small;
+        # ties broken by plan order for determinism.
+        order = sorted(range(len(relations)), key=lambda i: (len(relations[i]), i))
+        current = relations[order[0]]
+        for index in order[1:]:
+            current = natural_join(current, relations[index], cache=join_cache)
+            if not current:
+                break
+        # Normalise the column order to the plan's variable order.
+        if current.schema != self.variable_names and current.rows:
+            positions = [current.column_index(name) for name in self.variable_names]
+            current = Relation(
+                self.variable_names,
+                {tuple(row[p] for p in positions) for row in current.rows},
+            )
+        elif current.schema != self.variable_names:
+            current = Relation(self.variable_names)
+        if injective and current.rows:
+            current = self._injective_filter(current)
+        return current
+
+    def _injective_filter(self, bindings: Relation) -> Relation:
+        """Keep only bindings where variables (and literals) map to distinct vertices."""
+        literals = self._literal_values
+        kept = set()
+        for row in bindings.rows:
+            values = row + literals
+            if len(set(values)) == len(values):
+                kept.add(row)
+        return Relation(bindings.schema, kept)
+
+
+def bindings_to_dicts(bindings: Relation) -> List[Dict[str, str]]:
+    """Convert a binding relation into a list of ``{variable: vertex}`` dicts."""
+    return [dict(zip(bindings.schema, row)) for row in sorted(bindings.rows)]

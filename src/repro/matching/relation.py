@@ -1,0 +1,275 @@
+"""Relations: the tuple sets behind materialized views.
+
+A :class:`Relation` is a named-column set of tuples over graph vertices.  It
+is the representation used for
+
+* base edge views (schema ``("s", "t")``),
+* per-path prefix views inside the TRIC tries (schema ``("p0", ..., "pk")``),
+* query-level binding tables (schema of variable names).
+
+Joins are classic hash joins with a build and a probe phase, exactly as
+described in Section 4.2 of the paper; the build side can be cached and
+reused by the ``+`` engine variants (see :mod:`repro.matching.cache`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+__all__ = ["Relation", "natural_join", "extend_path_rows", "EMPTY_ROWS"]
+
+Row = Tuple[str, ...]
+EMPTY_ROWS: frozenset = frozenset()
+
+_uid_counter = itertools.count()
+
+
+class Relation:
+    """A set of equal-length tuples with named columns.
+
+    Relations are mutable (rows are added incrementally as updates arrive)
+    and carry a ``version`` counter so cached join-side hash tables can be
+    invalidated cheaply.
+    """
+
+    __slots__ = ("schema", "rows", "version", "uid", "_append_log", "last_removal_version")
+
+    def __init__(self, schema: Sequence[str], rows: Iterable[Row] = ()) -> None:
+        self.schema: Tuple[str, ...] = tuple(schema)
+        self.rows: Set[Row] = set(rows)
+        self.version = 0
+        self.uid = next(_uid_counter)
+        # Append-only log of added rows; lets join caches patch their build
+        # tables with only the rows added since they were built.  Removals
+        # bump ``last_removal_version`` which forces a full rebuild instead.
+        self._append_log: List[Row] = list(self.rows)
+        self.last_removal_version = 0
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.schema)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self.rows
+
+    def column_index(self, column: str) -> int:
+        """Index of ``column`` in the schema."""
+        return self.schema.index(column)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, row: Row) -> bool:
+        """Add ``row``; return ``True`` when it was not already present."""
+        if len(row) != len(self.schema):
+            raise ValueError(
+                f"row arity {len(row)} does not match schema arity {len(self.schema)}"
+            )
+        if row in self.rows:
+            return False
+        self.rows.add(row)
+        self._append_log.append(row)
+        self.version += 1
+        return True
+
+    def add_all(self, rows: Iterable[Row]) -> List[Row]:
+        """Add every row; return the list of rows that were actually new."""
+        added = [row for row in rows if self.add(row)]
+        return added
+
+    def discard(self, row: Row) -> bool:
+        """Remove ``row`` if present; return ``True`` when something was removed."""
+        if row in self.rows:
+            self.rows.remove(row)
+            self.version += 1
+            self.last_removal_version = self.version
+            self._append_log = list(self.rows)
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Remove every row."""
+        if self.rows:
+            self.rows.clear()
+            self.version += 1
+            self.last_removal_version = self.version
+            self._append_log = []
+
+    def replace_rows(self, rows: Iterable[Row]) -> None:
+        """Replace the contents wholesale (used when rebuilding after deletes)."""
+        self.rows = set(rows)
+        self.version += 1
+        self.last_removal_version = self.version
+        self._append_log = list(self.rows)
+
+    def appended_since(self, log_position: int) -> Sequence[Row]:
+        """Rows appended after ``log_position`` (valid while no removal happened)."""
+        return self._append_log[log_position:]
+
+    @property
+    def log_length(self) -> int:
+        """Current length of the append log."""
+        return len(self._append_log)
+
+    # ------------------------------------------------------------------
+    # Relational operators
+    # ------------------------------------------------------------------
+    def copy(self) -> "Relation":
+        """Shallow copy with the same schema and rows."""
+        return Relation(self.schema, self.rows)
+
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """Project onto ``columns`` (duplicates collapse, set semantics)."""
+        indices = [self.column_index(c) for c in columns]
+        return Relation(columns, {tuple(row[i] for i in indices) for row in self.rows})
+
+    def rename(self, mapping: Dict[str, str]) -> "Relation":
+        """Return a relation with columns renamed through ``mapping``."""
+        new_schema = tuple(mapping.get(c, c) for c in self.schema)
+        result = Relation(new_schema, self.rows)
+        return result
+
+    def select_equal(self, column: str, value: str) -> "Relation":
+        """Rows where ``column == value``."""
+        index = self.column_index(column)
+        return Relation(self.schema, {row for row in self.rows if row[index] == value})
+
+    def select_positions_equal(self, positions: Sequence[Tuple[int, int]]) -> "Relation":
+        """Rows where every ``(i, j)`` pair of positions holds equal values."""
+        if not positions:
+            return self.copy()
+        kept = {
+            row
+            for row in self.rows
+            if all(row[i] == row[j] for i, j in positions)
+        }
+        return Relation(self.schema, kept)
+
+    def distinct_values(self, column: str) -> Set[str]:
+        """Distinct values appearing in ``column``."""
+        index = self.column_index(column)
+        return {row[index] for row in self.rows}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation(schema={self.schema}, rows={len(self.rows)})"
+
+
+def _build_index(
+    rows: Iterable[Row], key_positions: Sequence[int]
+) -> Dict[Tuple[str, ...], List[Row]]:
+    """Hash-join build phase: bucket ``rows`` by their key columns."""
+    index: Dict[Tuple[str, ...], List[Row]] = {}
+    for row in rows:
+        key = tuple(row[i] for i in key_positions)
+        index.setdefault(key, []).append(row)
+    return index
+
+
+def extend_path_rows(
+    rows: Iterable[Row],
+    base: Relation,
+    cache=None,
+    *,
+    direction: str = "forward",
+) -> List[Row]:
+    """Extend positional path rows by one edge through a base edge view.
+
+    ``base`` must be a two-column ``(source, target)`` edge view.  With
+    ``direction="forward"`` each row is extended on the right by the targets
+    of base tuples whose source equals the row's last value (the ordinary
+    left-to-right path join); with ``direction="backward"`` each row is
+    extended on the left by the sources of base tuples whose target equals
+    the row's first value.  When a :class:`~repro.matching.cache.JoinCache`
+    is supplied the base view's build-side hash table is cached and reused.
+    """
+    if direction == "forward":
+        key_position, value_position = 0, 1
+    elif direction == "backward":
+        key_position, value_position = 1, 0
+    else:
+        raise ValueError(f"unknown direction: {direction!r}")
+
+    if cache is not None:
+        index = cache.build_index(base, (key_position,))
+    else:
+        index = _build_index(base.rows, (key_position,))
+
+    extended: List[Row] = []
+    for row in rows:
+        probe = row[-1] if direction == "forward" else row[0]
+        bucket = index.get((probe,))
+        if not bucket:
+            continue
+        if direction == "forward":
+            extended.extend(row + (base_row[value_position],) for base_row in bucket)
+        else:
+            extended.extend((base_row[value_position],) + row for base_row in bucket)
+    return extended
+
+
+def natural_join(left: Relation, right: Relation, cache=None) -> Relation:
+    """Natural join of two relations on their shared column names.
+
+    The smaller relation is used as the build side (as in the paper's hash
+    join description).  When ``cache`` (a :class:`~repro.matching.cache.JoinCache`)
+    is provided, the build-side hash table is fetched from / stored into it.
+    With no shared columns the result is the Cartesian product.
+    """
+    shared = [c for c in left.schema if c in right.schema]
+    right_only = [c for c in right.schema if c not in shared]
+    out_schema = tuple(left.schema) + tuple(right_only)
+
+    left_key_pos = [left.column_index(c) for c in shared]
+    right_key_pos = [right.column_index(c) for c in shared]
+    right_extra_pos = [right.column_index(c) for c in right_only]
+
+    if not shared:
+        rows = {
+            tuple(lrow) + tuple(rrow[i] for i in right_extra_pos)
+            for lrow in left.rows
+            for rrow in right.rows
+        }
+        return Relation(out_schema, rows)
+
+    # Build on the smaller side, probe with the larger one.
+    if len(right) <= len(left):
+        build_rel, build_pos = right, right_key_pos
+        probe_rel, probe_pos = left, left_key_pos
+        build_is_right = True
+    else:
+        build_rel, build_pos = left, left_key_pos
+        probe_rel, probe_pos = right, right_key_pos
+        build_is_right = False
+
+    if cache is not None:
+        index = cache.build_index(build_rel, tuple(build_pos))
+    else:
+        index = _build_index(build_rel.rows, build_pos)
+
+    rows: Set[Row] = set()
+    for probe_row in probe_rel.rows:
+        key = tuple(probe_row[i] for i in probe_pos)
+        bucket = index.get(key)
+        if not bucket:
+            continue
+        for build_row in bucket:
+            if build_is_right:
+                lrow, rrow = probe_row, build_row
+            else:
+                lrow, rrow = build_row, probe_row
+            rows.add(tuple(lrow) + tuple(rrow[i] for i in right_extra_pos))
+    return Relation(out_schema, rows)

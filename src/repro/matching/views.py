@@ -1,0 +1,138 @@
+"""Materialized base views of query edges.
+
+Every distinct (generalised) query edge present in the query database owns a
+materialized view ``matV[e]`` holding all stream updates that satisfy it
+(paper Section 4.1, "Materialization").  The registry only materializes edges
+that occur in registered queries — the engines never index the full graph,
+which is exactly the behaviour the paper calls out in Section 3.2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from ..graph.elements import Edge
+from ..query.terms import EdgeKey, candidate_keys_for_edge
+from .relation import Relation
+
+__all__ = ["EdgeViewRegistry"]
+
+# Base edge views always use this two-column schema: source and target vertex.
+EDGE_VIEW_SCHEMA = ("s", "t")
+
+
+class EdgeViewRegistry:
+    """Registry of base materialized views keyed by generalised edge keys."""
+
+    def __init__(self) -> None:
+        self._views: Dict[EdgeKey, Relation] = {}
+        # label -> keys with that label; avoids probing all four candidate
+        # generalisations when no registered key uses the label at all.
+        self._keys_by_label: Dict[str, Set[EdgeKey]] = {}
+        # Multigraph support: number of live copies of each concrete edge that
+        # matches at least one registered key.  Views hold *distinct* tuples,
+        # so a tuple may only be retracted once every copy has been deleted.
+        self._multiplicity: Counter[Edge] = Counter()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, key: EdgeKey) -> Relation:
+        """Ensure a view exists for ``key`` and return it."""
+        view = self._views.get(key)
+        if view is None:
+            view = Relation(EDGE_VIEW_SCHEMA)
+            self._views[key] = view
+            self._keys_by_label.setdefault(key.label, set()).add(key)
+        return view
+
+    def register_all(self, keys: Iterable[EdgeKey]) -> None:
+        """Register every key in ``keys``."""
+        for key in keys:
+            self.register(key)
+
+    def view(self, key: EdgeKey) -> Relation:
+        """Return the view for ``key`` (registering it on first use)."""
+        return self.register(key)
+
+    def get(self, key: EdgeKey) -> Relation | None:
+        """Return the view for ``key`` or ``None`` when not registered."""
+        return self._views.get(key)
+
+    def __contains__(self, key: EdgeKey) -> bool:
+        return key in self._views
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def keys(self) -> Iterator[EdgeKey]:
+        """Iterate over registered keys."""
+        return iter(self._views)
+
+    def has_label(self, label: str) -> bool:
+        """``True`` when at least one registered key uses ``label``."""
+        return bool(self._keys_by_label.get(label))
+
+    # ------------------------------------------------------------------
+    # Stream maintenance
+    # ------------------------------------------------------------------
+    def matching_keys(self, edge: Edge) -> List[EdgeKey]:
+        """Registered keys that the concrete ``edge`` satisfies (at most four)."""
+        if not self.has_label(edge.label):
+            return []
+        return [key for key in candidate_keys_for_edge(edge) if key in self._views]
+
+    def apply_addition(self, edge: Edge) -> List[Tuple[EdgeKey, bool]]:
+        """Add ``edge`` to every view it satisfies.
+
+        Returns a list of ``(key, is_new)`` pairs for the affected views;
+        ``is_new`` is ``False`` when the tuple was already present (duplicate
+        multigraph edge), in which case downstream deltas are empty.
+        """
+        keys = self.matching_keys(edge)
+        if not keys:
+            return []
+        self._multiplicity[edge] += 1
+        results: List[Tuple[EdgeKey, bool]] = []
+        row = (edge.source, edge.target)
+        for key in keys:
+            is_new = self._views[key].add(row)
+            results.append((key, is_new))
+        return results
+
+    def apply_deletion(self, edge: Edge) -> List[EdgeKey]:
+        """Remove one copy of ``edge``; return the keys whose view changed.
+
+        With multigraph semantics the tuple only leaves the views once the
+        last remaining copy of the edge has been deleted.
+        """
+        keys = self.matching_keys(edge)
+        if not keys:
+            return []
+        remaining = self._multiplicity.get(edge, 0)
+        if remaining > 1:
+            self._multiplicity[edge] = remaining - 1
+            return []
+        if remaining == 1:
+            del self._multiplicity[edge]
+        affected: List[EdgeKey] = []
+        row = (edge.source, edge.target)
+        for key in keys:
+            if self._views[key].discard(row):
+                affected.append(key)
+        return affected
+
+    def multiplicity(self, edge: Edge) -> int:
+        """Number of live copies of ``edge`` known to the registry."""
+        return self._multiplicity.get(edge, 0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_rows(self) -> int:
+        """Total number of tuples across all views (for memory reports)."""
+        return sum(len(view) for view in self._views.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeViewRegistry(views={len(self._views)}, rows={self.total_rows()})"

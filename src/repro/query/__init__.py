@@ -1,0 +1,46 @@
+"""Query model: patterns, terms, covering paths, builder, workload generator."""
+
+from .builder import QueryBuilder
+from .generator import (
+    QueryWorkload,
+    QueryWorkloadConfig,
+    QueryWorkloadGenerator,
+    generate_workload,
+)
+from .paths import CoveringPath, covering_paths, is_subpath
+from .pattern import QueryEdge, QueryGraphPattern
+from .terms import (
+    ANY,
+    EdgeKey,
+    Literal,
+    Term,
+    Variable,
+    candidate_keys_for_edge,
+    edge_key_for_query_edge,
+    generalize_term,
+    is_variable,
+    term,
+)
+
+__all__ = [
+    "QueryBuilder",
+    "QueryGraphPattern",
+    "QueryEdge",
+    "CoveringPath",
+    "covering_paths",
+    "is_subpath",
+    "QueryWorkload",
+    "QueryWorkloadConfig",
+    "QueryWorkloadGenerator",
+    "generate_workload",
+    "ANY",
+    "EdgeKey",
+    "Literal",
+    "Variable",
+    "Term",
+    "term",
+    "is_variable",
+    "generalize_term",
+    "edge_key_for_query_edge",
+    "candidate_keys_for_edge",
+]

@@ -1,0 +1,97 @@
+"""Fluent builder for query graph patterns.
+
+The builder is the friendly front door for applications: it accepts terms as
+plain strings (``"?x"`` for variables), checks connectivity, and produces an
+immutable :class:`~repro.query.pattern.QueryGraphPattern`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..graph.errors import QueryError
+from .pattern import QueryGraphPattern
+from .terms import Term, term
+
+__all__ = ["QueryBuilder"]
+
+
+class QueryBuilder:
+    """Incrementally assemble a :class:`QueryGraphPattern`.
+
+    Example
+    -------
+    >>> query = (
+    ...     QueryBuilder("spam-clique")
+    ...     .edge("shares", "?user", "?post")
+    ...     .edge("links", "?post", "flagged.example.org")
+    ...     .build()
+    ... )
+    >>> query.num_edges
+    2
+    """
+
+    def __init__(self, query_id: str, name: str | None = None) -> None:
+        self.query_id = query_id
+        self.name = name
+        self._edges: List[Tuple[str, Term, Term]] = []
+
+    def edge(self, label: str, source: "Term | str", target: "Term | str") -> "QueryBuilder":
+        """Add a directed edge ``source --label--> target`` and return ``self``."""
+        if not label:
+            raise QueryError("query edge labels must be non-empty")
+        self._edges.append((label, term(source), term(target)))
+        return self
+
+    def chain(self, label: str, *vertices: "Term | str") -> "QueryBuilder":
+        """Add a chain of edges with the same label through ``vertices``."""
+        if len(vertices) < 2:
+            raise QueryError("a chain requires at least two vertices")
+        for source, target in zip(vertices, vertices[1:]):
+            self.edge(label, source, target)
+        return self
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges added so far."""
+        return len(self._edges)
+
+    def build(self) -> QueryGraphPattern:
+        """Finalise and return the immutable pattern.
+
+        Raises
+        ------
+        QueryError
+            If no edge was added or the pattern is not weakly connected
+            (disconnected patterns are almost always user errors: they match
+            the Cartesian product of their components).
+        """
+        if not self._edges:
+            raise QueryError("cannot build an empty query graph pattern")
+        pattern = QueryGraphPattern(self.query_id, list(self._edges), name=self.name)
+        if not _is_weakly_connected(pattern):
+            raise QueryError(
+                f"query {self.query_id!r} is not weakly connected; "
+                "register the components as separate queries instead"
+            )
+        return pattern
+
+
+def _is_weakly_connected(pattern: QueryGraphPattern) -> bool:
+    """Return ``True`` when the pattern is connected ignoring edge direction."""
+    vertices = list(pattern.vertices)
+    if len(vertices) <= 1:
+        return True
+    neighbours = {vertex: set() for vertex in vertices}
+    for edge in pattern.edges:
+        neighbours[edge.source].add(edge.target)
+        neighbours[edge.target].add(edge.source)
+    seen = {vertices[0]}
+    frontier = [vertices[0]]
+    while frontier:
+        vertex = frontier.pop()
+        for neighbour in neighbours[vertex]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return len(seen) == len(vertices)

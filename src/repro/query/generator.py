@@ -1,0 +1,331 @@
+"""Synthetic query-workload generator (paper Section 6.1).
+
+The paper evaluates every engine against query databases built from three
+query classes — *chains*, *stars*, and *cycles*, chosen equiprobably — and
+controlled by four knobs:
+
+``num_queries``
+    the query-database size ``|QDB|``,
+``avg_edges``
+    the average query size ``l`` (edges per query),
+``selectivity``
+    the fraction ``σ`` of queries that the update stream eventually
+    satisfies,
+``overlap``
+    the fraction ``o`` of queries that share a common sub-pattern with other
+    queries.
+
+Satisfiable queries are sampled as embeddings of the *final* graph produced
+by the stream (so they are guaranteed to match once enough updates arrive);
+unsatisfiable queries reuse realistic edge labels but pin one endpoint to a
+vertex that never appears, so engines still pay the indexing/probing cost.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..graph.errors import DatasetError
+from ..graph.graph import Graph
+from ..graph.stream import GraphStream
+from .pattern import QueryGraphPattern
+from .terms import Literal, Term, Variable
+
+__all__ = ["QueryWorkloadConfig", "QueryWorkload", "QueryWorkloadGenerator", "generate_workload"]
+
+_QUERY_CLASSES = ("chain", "star", "cycle")
+
+
+@dataclass(frozen=True)
+class QueryWorkloadConfig:
+    """Knobs controlling the generated query database."""
+
+    num_queries: int = 100
+    avg_edges: int = 5
+    selectivity: float = 0.25
+    overlap: float = 0.35
+    variable_ratio: float = 0.7
+    seed: int = 7
+    classes: Tuple[str, ...] = _QUERY_CLASSES
+    overlap_pool_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_queries <= 0:
+            raise DatasetError("num_queries must be positive")
+        if self.avg_edges <= 0:
+            raise DatasetError("avg_edges must be positive")
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise DatasetError("selectivity must lie in [0, 1]")
+        if not 0.0 <= self.overlap <= 1.0:
+            raise DatasetError("overlap must lie in [0, 1]")
+        if not 0.0 <= self.variable_ratio <= 1.0:
+            raise DatasetError("variable_ratio must lie in [0, 1]")
+        unknown = set(self.classes) - set(_QUERY_CLASSES)
+        if unknown:
+            raise DatasetError(f"unknown query classes: {sorted(unknown)}")
+
+
+@dataclass
+class QueryWorkload:
+    """A generated query database plus bookkeeping used by tests/benchmarks."""
+
+    queries: List[QueryGraphPattern]
+    satisfiable_ids: Set[str] = field(default_factory=set)
+    overlapping_ids: Set[str] = field(default_factory=set)
+    config: QueryWorkloadConfig = field(default_factory=QueryWorkloadConfig)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+class QueryWorkloadGenerator:
+    """Sample a query database from the final graph of an update stream."""
+
+    def __init__(self, graph: Graph, config: QueryWorkloadConfig | None = None) -> None:
+        if graph.num_edges == 0:
+            raise DatasetError("cannot generate a query workload from an empty graph")
+        self.graph = graph
+        self.config = config or QueryWorkloadConfig()
+        self._random = random.Random(self.config.seed)
+        self._vertices = sorted(graph.vertices())
+        self._vertices_with_out = [v for v in self._vertices if graph.successors(v)]
+        if not self._vertices_with_out:
+            raise DatasetError("graph has no vertex with outgoing edges")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(self) -> QueryWorkload:
+        """Generate the full query workload described by the configuration."""
+        config = self.config
+        workload = QueryWorkload(queries=[], config=config)
+        num_satisfiable = round(config.num_queries * config.selectivity)
+        num_overlapping = round(config.num_queries * config.overlap)
+        seeds = self._build_overlap_seeds()
+
+        for index in range(config.num_queries):
+            query_id = f"Q{index}"
+            query_class = self._random.choice(list(config.classes))
+            satisfiable = index < num_satisfiable
+            overlapping = bool(seeds) and index % max(1, config.num_queries) < num_overlapping
+            seed_walk = self._random.choice(seeds) if overlapping else None
+            triples, satisfied = self._sample_query(query_class, satisfiable, seed_walk)
+            pattern = QueryGraphPattern(query_id, triples, name=f"{query_class}-{query_id}")
+            workload.queries.append(pattern)
+            if satisfied:
+                workload.satisfiable_ids.add(query_id)
+            if overlapping:
+                workload.overlapping_ids.add(query_id)
+
+        # Shuffle so satisfiable / overlapping queries are not clustered by id
+        # order (engines must not be able to exploit registration order).
+        self._random.shuffle(workload.queries)
+        return workload
+
+    # ------------------------------------------------------------------
+    # Sampling primitives
+    # ------------------------------------------------------------------
+    def _sample_query(
+        self,
+        query_class: str,
+        satisfiable: bool,
+        seed_walk: Sequence[Tuple[str, str, str]] | None,
+    ) -> Tuple[List[Tuple[str, "Term | str", "Term | str"]], bool]:
+        """Sample one query; returns its triples and whether it is satisfiable."""
+        size = self._sample_size()
+        if query_class == "chain":
+            walk = self._sample_chain(size, seed_walk)
+        elif query_class == "star":
+            walk = self._sample_star(size, seed_walk)
+        else:
+            walk = self._sample_cycle(size, seed_walk)
+        if not walk:
+            walk = self._sample_chain(size, seed_walk)
+        if not walk:
+            raise DatasetError("unable to sample a query from the base graph")
+
+        terms = self._assign_terms(walk)
+        triples = [
+            (label, terms[source], terms[target]) for label, source, target in walk
+        ]
+        if satisfiable:
+            return triples, True
+        return self._poison(triples), False
+
+    def _sample_size(self) -> int:
+        """Draw a query size so the workload average is ``avg_edges``."""
+        avg = self.config.avg_edges
+        low = max(1, avg - 2)
+        high = avg + 2
+        return self._random.randint(low, high)
+
+    def _sample_chain(
+        self, size: int, seed_walk: Sequence[Tuple[str, str, str]] | None
+    ) -> List[Tuple[str, str, str]]:
+        """Random directed walk of up to ``size`` edges in the base graph."""
+        walk: List[Tuple[str, str, str]] = list(seed_walk or ())
+        current = walk[-1][2] if walk else self._random.choice(self._vertices_with_out)
+        attempts = 0
+        while len(walk) < size and attempts < size * 4:
+            attempts += 1
+            successors = self._labelled_successors(current)
+            if not successors:
+                break
+            label, target = self._random.choice(successors)
+            walk.append((label, current, target))
+            current = target
+        return walk
+
+    def _sample_star(
+        self, size: int, seed_walk: Sequence[Tuple[str, str, str]] | None
+    ) -> List[Tuple[str, str, str]]:
+        """Star pattern: one hub vertex touching every edge (in or out)."""
+        walk: List[Tuple[str, str, str]] = list(seed_walk or ())
+        hub = walk[-1][2] if walk else self._random.choice(self._vertices_with_out)
+        outgoing = [(label, hub, target) for label, target in self._labelled_successors(hub)]
+        incoming = [(label, source, hub) for label, source in self._labelled_predecessors(hub)]
+        incident = outgoing + incoming
+        self._random.shuffle(incident)
+        seen: Set[Tuple[str, str, str]] = set(walk)
+        for triple in incident:
+            if len(walk) >= size:
+                break
+            if triple in seen:
+                continue
+            seen.add(triple)
+            walk.append(triple)
+        return walk
+
+    def _sample_cycle(
+        self, size: int, seed_walk: Sequence[Tuple[str, str, str]] | None
+    ) -> List[Tuple[str, str, str]]:
+        """Directed cycle of up to ``size`` edges; falls back to a chain.
+
+        Real directed cycles can be rare in sparse streams, so a bounded
+        number of random walks looks for one; when none is found the query
+        degrades into a chain, mirroring how the paper's generator keeps the
+        three classes "typical in the relevant literature" without requiring
+        every sample to succeed.
+        """
+        for _ in range(8):
+            start = self._random.choice(self._vertices_with_out)
+            walk: List[Tuple[str, str, str]] = []
+            current = start
+            for _ in range(max(2, size)):
+                successors = self._labelled_successors(current)
+                if not successors:
+                    break
+                closing = [(label, t) for label, t in successors if t == start and walk]
+                if closing and len(walk) >= 1:
+                    label, target = self._random.choice(closing)
+                    walk.append((label, current, target))
+                    return walk
+                label, target = self._random.choice(successors)
+                walk.append((label, current, target))
+                current = target
+        return self._sample_chain(size, seed_walk)
+
+    # ------------------------------------------------------------------
+    # Term assignment and poisoning
+    # ------------------------------------------------------------------
+    def _assign_terms(self, walk: Sequence[Tuple[str, str, str]]) -> Dict[str, Term]:
+        """Map each sampled graph vertex to a variable or literal term."""
+        mapping: Dict[str, Term] = {}
+        counter = 0
+        for _, source, target in walk:
+            for vertex in (source, target):
+                if vertex in mapping:
+                    continue
+                if self._random.random() < self.config.variable_ratio:
+                    mapping[vertex] = Variable(f"v{counter}")
+                    counter += 1
+                else:
+                    mapping[vertex] = Literal(vertex)
+        # Guarantee at least one variable so the query is a pattern rather
+        # than a fully-ground edge list.
+        if not any(isinstance(t, Variable) for t in mapping.values()):
+            first_vertex = walk[0][1]
+            mapping[first_vertex] = Variable("v0")
+        return mapping
+
+    def _poison(
+        self, triples: List[Tuple[str, "Term | str", "Term | str"]]
+    ) -> List[Tuple[str, "Term | str", "Term | str"]]:
+        """Make a query unsatisfiable while keeping its labels realistic.
+
+        One endpoint of one edge is replaced with a literal vertex that never
+        occurs in the stream.  Engines still index the query and probe their
+        structures for it on every matching label — exactly the work an
+        unselective subscription causes in practice.
+        """
+        index = self._random.randrange(len(triples))
+        label, source, target = triples[index]
+        missing = Literal(f"__absent_{self._random.randrange(10**9)}__")
+        if self._random.random() < 0.5:
+            triples[index] = (label, missing, target)
+        else:
+            triples[index] = (label, source, missing)
+        # Poisoning must not leave the query without any variable (it would no
+        # longer be a pattern); if it did, re-introduce one on the poisoned
+        # edge — the absent literal keeps the query unsatisfiable regardless.
+        has_variable = any(
+            isinstance(term_, Variable)
+            for _, source_, target_ in triples
+            for term_ in (source_, target_)
+        )
+        if not has_variable:
+            label, source, target = triples[index]
+            if source == missing:
+                triples[index] = (label, source, Variable("v0"))
+            else:
+                triples[index] = (label, Variable("v0"), target)
+        return triples
+
+    # ------------------------------------------------------------------
+    # Overlap seeds
+    # ------------------------------------------------------------------
+    def _build_overlap_seeds(self) -> List[List[Tuple[str, str, str]]]:
+        """Short shared walks that overlapping queries are grown from."""
+        pool_size = self.config.overlap_pool_size
+        if pool_size is None:
+            pool_size = max(1, self.config.num_queries // 50)
+        seeds: List[List[Tuple[str, str, str]]] = []
+        attempts = 0
+        while len(seeds) < pool_size and attempts < pool_size * 20:
+            attempts += 1
+            walk = self._sample_chain(2, None)
+            if walk:
+                seeds.append(walk[:2])
+        return seeds
+
+    # ------------------------------------------------------------------
+    # Graph access helpers
+    # ------------------------------------------------------------------
+    def _labelled_successors(self, vertex: str) -> List[Tuple[str, str]]:
+        """All (label, target) pairs leaving ``vertex``, deterministically ordered."""
+        result: List[Tuple[str, str]] = []
+        for label in sorted(self.graph.edge_labels()):
+            for target in sorted(self.graph.successors(vertex, label)):
+                result.append((label, target))
+        return result
+
+    def _labelled_predecessors(self, vertex: str) -> List[Tuple[str, str]]:
+        """All (label, source) pairs entering ``vertex``, deterministically ordered."""
+        result: List[Tuple[str, str]] = []
+        for label in sorted(self.graph.edge_labels()):
+            for source in sorted(self.graph.predecessors(vertex, label)):
+                result.append((label, source))
+        return result
+
+
+def generate_workload(
+    stream: GraphStream, config: QueryWorkloadConfig | None = None
+) -> QueryWorkload:
+    """Convenience wrapper: materialise ``stream`` and sample a workload from it."""
+    graph = stream.to_graph()
+    return QueryWorkloadGenerator(graph, config).generate()

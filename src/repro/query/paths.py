@@ -1,0 +1,248 @@
+"""Covering-path decomposition of query graph patterns (paper Section 4.1).
+
+Every query graph pattern is decomposed into a set of directed paths that
+together cover all of its vertices and edges (Definition 4.2).  The greedy
+procedure mirrors the paper: depth-first walks are started from "root-like"
+vertices and follow unvisited edges until a leaf is reached, walks are
+repeated until every edge is covered, and paths that are contiguous sub-paths
+of other paths are discarded.
+
+Paths purposely share prefixes whenever queries share structure — this is the
+property the TRIC trie exploits to cluster queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..graph.errors import DecompositionError
+from .pattern import QueryEdge, QueryGraphPattern
+from .terms import EdgeKey, Term
+
+__all__ = ["CoveringPath", "covering_paths", "is_subpath"]
+
+
+@dataclass(frozen=True)
+class CoveringPath:
+    """A directed walk over query edges: ``t0 -e0-> t1 -e1-> ... -> tk``."""
+
+    edges: Tuple[QueryEdge, ...]
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise DecompositionError("a covering path must contain at least one edge")
+        for previous, current in zip(self.edges, self.edges[1:]):
+            if previous.target != current.source:
+                raise DecompositionError(
+                    "covering path edges are not connected: "
+                    f"{previous} does not lead into {current}"
+                )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of edges in the path."""
+        return len(self.edges)
+
+    def terms(self) -> Tuple[Term, ...]:
+        """Vertex terms along the path (length + 1 positions)."""
+        positions: List[Term] = [self.edges[0].source]
+        positions.extend(edge.target for edge in self.edges)
+        return tuple(positions)
+
+    def key_sequence(self) -> Tuple[EdgeKey, ...]:
+        """Generalised edge keys along the path (the trie path)."""
+        return tuple(edge.key for edge in self.edges)
+
+    def edge_indices(self) -> Tuple[int, ...]:
+        """Indices (within the query) of the edges along the path."""
+        return tuple(edge.index for edge in self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [str(self.edges[0].source)]
+        for edge in self.edges:
+            parts.append(f"-[{edge.label}]-> {edge.target}")
+        return " ".join(parts)
+
+
+def is_subpath(candidate: CoveringPath, other: CoveringPath) -> bool:
+    """Return ``True`` when ``candidate`` is a contiguous sub-path of ``other``."""
+    if candidate.length > other.length:
+        return False
+    needle = candidate.edge_indices()
+    haystack = other.edge_indices()
+    for start in range(len(haystack) - len(needle) + 1):
+        if haystack[start : start + len(needle)] == needle:
+            return True
+    return False
+
+
+def covering_paths(pattern: QueryGraphPattern) -> List[CoveringPath]:
+    """Decompose ``pattern`` into covering paths (Definition 4.2).
+
+    The result covers every edge (and therefore every vertex, since patterns
+    have no isolated vertices) at least once; no returned path is a
+    contiguous sub-path of another.
+    """
+    adjacency = pattern.adjacency()
+    covered: Set[int] = set()
+    walks: List[List[QueryEdge]] = []
+
+    for start in _start_order(pattern):
+        while len(covered) < pattern.num_edges:
+            walk = _greedy_walk(start, adjacency, covered)
+            new_edges = [edge for edge in walk if edge.index not in covered]
+            if not new_edges:
+                break
+            covered.update(edge.index for edge in walk)
+            walks.append(walk)
+        if len(covered) == pattern.num_edges:
+            break
+
+    # Cycles (or components only reachable through covered edges) may leave
+    # edges uncovered when every start vertex has been exhausted; walk from
+    # the uncovered edges directly.
+    while len(covered) < pattern.num_edges:
+        remaining = [edge for edge in pattern.edges if edge.index not in covered]
+        start = remaining[0].source
+        walk = _greedy_walk(start, adjacency, covered)
+        new_edges = [edge for edge in walk if edge.index not in covered]
+        if not new_edges:
+            # The walk could not make progress (should not happen); fall back
+            # to emitting the uncovered edge as a single-edge path.
+            walk = [remaining[0]]
+        covered.update(edge.index for edge in walk)
+        walks.append(walk)
+
+    paths = [CoveringPath(tuple(walk)) for walk in walks]
+    paths = _drop_subpaths(paths)
+    _validate_cover(pattern, paths)
+    return paths
+
+
+# ----------------------------------------------------------------------
+# Internal helpers
+# ----------------------------------------------------------------------
+def _start_order(pattern: QueryGraphPattern) -> List[Term]:
+    """Vertices ordered for walk starts: sources without incoming edges first.
+
+    Starting every walk from the same root-like vertices maximises shared
+    prefixes across the covering paths of a query (and across queries), which
+    is what the trie clustering exploits.
+    """
+    targets = {edge.target for edge in pattern.edges}
+    roots = [vertex for vertex in pattern.vertices if vertex not in targets]
+    others = [vertex for vertex in pattern.vertices if vertex in targets]
+    return roots + others
+
+
+def _greedy_walk(
+    start: Term,
+    adjacency: Dict[Term, List[QueryEdge]],
+    covered: Set[int],
+) -> List[QueryEdge]:
+    """Depth-first walk from ``start`` preferring uncovered edges.
+
+    The walk traverses already-covered edges only when doing so can still
+    reach an uncovered edge (this reproduces the paper's example where a
+    shared prefix edge is re-walked to reach a second branch).  Each edge
+    occurrence is used at most once per walk, which guarantees termination on
+    cyclic patterns.
+    """
+    walk: List[QueryEdge] = []
+    used_in_walk: Set[int] = set()
+    current = start
+    total_edges = sum(len(edges) for edges in adjacency.values())
+    while len(walk) < total_edges:
+        candidates = [
+            edge for edge in adjacency.get(current, []) if edge.index not in used_in_walk
+        ]
+        if not candidates:
+            break
+        uncovered = [edge for edge in candidates if edge.index not in covered]
+        if uncovered:
+            chosen = min(uncovered, key=lambda edge: edge.index)
+        else:
+            reaching = [
+                edge
+                for edge in candidates
+                if _leads_to_uncovered(edge, adjacency, covered, used_in_walk)
+            ]
+            if not reaching:
+                break
+            chosen = min(reaching, key=lambda edge: edge.index)
+        walk.append(chosen)
+        used_in_walk.add(chosen.index)
+        current = chosen.target
+    return walk
+
+
+def _leads_to_uncovered(
+    edge: QueryEdge,
+    adjacency: Dict[Term, List[QueryEdge]],
+    covered: Set[int],
+    used_in_walk: Set[int],
+) -> bool:
+    """Return ``True`` when following ``edge`` can still reach an uncovered edge."""
+    seen: Set[int] = set(used_in_walk)
+    seen.add(edge.index)
+    frontier = [edge.target]
+    visited_terms: Set[Term] = set()
+    while frontier:
+        vertex = frontier.pop()
+        if vertex in visited_terms:
+            continue
+        visited_terms.add(vertex)
+        for candidate in adjacency.get(vertex, []):
+            if candidate.index in seen:
+                continue
+            if candidate.index not in covered:
+                return True
+            seen.add(candidate.index)
+            frontier.append(candidate.target)
+    return False
+
+
+def _drop_subpaths(paths: List[CoveringPath]) -> List[CoveringPath]:
+    """Remove duplicates and paths that are contiguous sub-paths of others."""
+    unique: List[CoveringPath] = []
+    seen: Set[Tuple[int, ...]] = set()
+    for path in paths:
+        indices = path.edge_indices()
+        if indices not in seen:
+            seen.add(indices)
+            unique.append(path)
+    kept: List[CoveringPath] = []
+    for path in unique:
+        redundant = any(
+            path is not other and is_subpath(path, other) and path.length < other.length
+            for other in unique
+        )
+        if not redundant:
+            kept.append(path)
+    return kept
+
+
+def _validate_cover(pattern: QueryGraphPattern, paths: Iterable[CoveringPath]) -> None:
+    """Assert that ``paths`` cover every edge and vertex of ``pattern``."""
+    covered_edges: Set[int] = set()
+    covered_terms: Set[Term] = set()
+    for path in paths:
+        covered_edges.update(path.edge_indices())
+        covered_terms.update(path.terms())
+    missing_edges = {edge.index for edge in pattern.edges} - covered_edges
+    if missing_edges:
+        raise DecompositionError(
+            f"covering paths for {pattern.query_id} miss edges {sorted(missing_edges)}"
+        )
+    missing_terms = set(pattern.vertices) - covered_terms
+    if missing_terms:
+        raise DecompositionError(
+            f"covering paths for {pattern.query_id} miss vertices {missing_terms}"
+        )

@@ -1,0 +1,211 @@
+"""Query graph patterns (Definition 3.4 of the paper).
+
+A :class:`QueryGraphPattern` is a small directed labelled multigraph whose
+vertex terms are literals or variables.  Patterns are immutable once built;
+use :class:`~repro.query.builder.QueryBuilder` or
+:func:`QueryGraphPattern.from_triples` to construct them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from ..graph.errors import QueryError
+from .terms import EdgeKey, Literal, Term, Variable, edge_key_for_query_edge, term
+
+__all__ = ["QueryEdge", "QueryGraphPattern"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryEdge:
+    """A single directed query edge ``source --label--> target``.
+
+    ``index`` identifies the edge occurrence inside its pattern, which matters
+    for multigraph queries that repeat the same (label, source, target)
+    triple.
+    """
+
+    index: int
+    label: str
+    source: Term
+    target: Term
+
+    @property
+    def key(self) -> EdgeKey:
+        """Generalised key of this edge (variables anonymised)."""
+        return edge_key_for_query_edge(self.label, self.source, self.target)
+
+    def terms(self) -> Tuple[Term, Term]:
+        """Return the (source, target) terms."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.source} -[{self.label}]-> {self.target}"
+
+
+class QueryGraphPattern:
+    """An immutable continuous sub-graph query.
+
+    Parameters
+    ----------
+    query_id:
+        Unique identifier of the query within a query database.
+    edges:
+        Sequence of ``(label, source, target)`` triples; terms may be given as
+        strings (``"?x"`` denotes a variable) or :class:`Term` instances.
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    def __init__(
+        self,
+        query_id: str,
+        edges: Sequence[tuple[str, "Term | str", "Term | str"]],
+        name: str | None = None,
+    ) -> None:
+        if not edges:
+            raise QueryError("a query graph pattern must contain at least one edge")
+        self.query_id = query_id
+        self.name = name or query_id
+        self._edges: List[QueryEdge] = []
+        for index, (label, source, target) in enumerate(edges):
+            if not label:
+                raise QueryError("query edge labels must be non-empty")
+            self._edges.append(QueryEdge(index, label, term(source), term(target)))
+        self._vertices: List[Term] = []
+        seen: Set[Term] = set()
+        for edge in self._edges:
+            for vertex in edge.terms():
+                if vertex not in seen:
+                    seen.add(vertex)
+                    self._vertices.append(vertex)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_triples(
+        cls,
+        query_id: str,
+        triples: Iterable[tuple[str, str, str]],
+        name: str | None = None,
+    ) -> "QueryGraphPattern":
+        """Build a pattern from ``(label, source, target)`` string triples."""
+        return cls(query_id, list(triples), name=name)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> Sequence[QueryEdge]:
+        """The query edges in declaration order."""
+        return tuple(self._edges)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of query edges."""
+        return len(self._edges)
+
+    @property
+    def vertices(self) -> Sequence[Term]:
+        """Distinct vertex terms in first-seen order."""
+        return tuple(self._vertices)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of distinct vertex terms."""
+        return len(self._vertices)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Distinct variables in first-seen order."""
+        return tuple(v for v in self._vertices if isinstance(v, Variable))
+
+    def literals(self) -> Tuple[Literal, ...]:
+        """Distinct literals in first-seen order."""
+        return tuple(v for v in self._vertices if isinstance(v, Literal))
+
+    def edge_keys(self) -> Tuple[EdgeKey, ...]:
+        """Generalised keys of every edge (in edge order, duplicates kept)."""
+        return tuple(edge.key for edge in self._edges)
+
+    def distinct_edge_keys(self) -> Set[EdgeKey]:
+        """Set of distinct generalised edge keys."""
+        return {edge.key for edge in self._edges}
+
+    def edge_labels(self) -> Set[str]:
+        """Set of distinct edge labels used by the pattern."""
+        return {edge.label for edge in self._edges}
+
+    def out_edges(self, vertex: Term) -> List[QueryEdge]:
+        """Edges whose source term equals ``vertex``."""
+        return [edge for edge in self._edges if edge.source == vertex]
+
+    def in_edges(self, vertex: Term) -> List[QueryEdge]:
+        """Edges whose target term equals ``vertex``."""
+        return [edge for edge in self._edges if edge.target == vertex]
+
+    def adjacency(self) -> Dict[Term, List[QueryEdge]]:
+        """Map each vertex term to its outgoing query edges."""
+        result: Dict[Term, List[QueryEdge]] = {vertex: [] for vertex in self._vertices}
+        for edge in self._edges:
+            result[edge.source].append(edge)
+        return result
+
+    # ------------------------------------------------------------------
+    # Structural classification helpers (used by the workload generator
+    # and by tests).
+    # ------------------------------------------------------------------
+    def degree(self, vertex: Term) -> int:
+        """Total degree (in + out) of a vertex term."""
+        return len(self.out_edges(vertex)) + len(self.in_edges(vertex))
+
+    def is_chain(self) -> bool:
+        """``True`` when the pattern is a simple directed chain."""
+        if self.num_edges != self.num_vertices - 1:
+            return False
+        sources = [e.source for e in self._edges]
+        targets = [e.target for e in self._edges]
+        starts = [v for v in self._vertices if v in sources and v not in targets]
+        ends = [v for v in self._vertices if v in targets and v not in sources]
+        if len(starts) != 1 or len(ends) != 1:
+            return False
+        return all(self.degree(v) <= 2 for v in self._vertices)
+
+    def is_star(self) -> bool:
+        """``True`` when one centre vertex touches every edge."""
+        if self.num_edges < 2:
+            return False
+        return any(self.degree(v) == self.num_edges for v in self._vertices)
+
+    def is_cycle(self) -> bool:
+        """``True`` when the pattern is a single directed cycle."""
+        if self.num_edges != self.num_vertices or self.num_edges < 2:
+            return False
+        return all(
+            len(self.out_edges(v)) == 1 and len(self.in_edges(v)) == 1
+            for v in self._vertices
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[QueryEdge]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryGraphPattern):
+            return NotImplemented
+        return self.query_id == other.query_id and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self.query_id, tuple(self._edges)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryGraphPattern(id={self.query_id!r}, edges={self.num_edges}, "
+            f"vertices={self.num_vertices})"
+        )

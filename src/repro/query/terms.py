@@ -1,0 +1,146 @@
+"""Query terms: literals and variables used in query graph patterns.
+
+A query graph pattern (Definition 3.4 of the paper) labels its vertices with
+either *literals* — concrete entity identifiers that must match exactly — or
+*variables* (written ``?name``) that may bind to any graph vertex.
+
+The TRIC index clusters structurally-identical paths by *generalising*
+variables: every variable becomes the anonymous variable ``?var`` so that two
+paths that differ only in variable naming share trie nodes (Section 4.1,
+"Variable Handling").  :func:`generalize` implements that mapping and
+:class:`EdgeKey` is the generalised form of a query edge used as the key of
+tries, inverted indexes, and materialized base views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..graph.elements import Edge, Vertex
+
+__all__ = [
+    "Variable",
+    "Literal",
+    "Term",
+    "term",
+    "is_variable",
+    "ANY",
+    "EdgeKey",
+    "generalize_term",
+    "edge_key_for_query_edge",
+    "candidate_keys_for_edge",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A named query variable, e.g. ``?friend``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A literal vertex term that only matches the identical graph vertex."""
+
+    value: Vertex
+
+    def __str__(self) -> str:
+        return self.value
+
+
+Term = Union[Variable, Literal]
+
+# Sentinel used in generalised edge keys wherever the original term was a
+# variable.  A plain module-level string keeps keys hashable and compact.
+ANY = "?var"
+
+
+def term(value: "Term | str") -> Term:
+    """Coerce ``value`` into a :class:`Variable` or :class:`Literal`.
+
+    Strings beginning with ``"?"`` become variables (without the prefix);
+    every other string becomes a literal.  Existing terms pass through.
+    """
+    if isinstance(value, (Variable, Literal)):
+        return value
+    if isinstance(value, str):
+        if value.startswith("?"):
+            name = value[1:]
+            if not name:
+                raise ValueError("variable names must not be empty")
+            return Variable(name)
+        return Literal(value)
+    raise TypeError(f"cannot interpret {value!r} as a query term")
+
+
+def is_variable(value: Term) -> bool:
+    """Return ``True`` when ``value`` is a :class:`Variable`."""
+    return isinstance(value, Variable)
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeKey:
+    """Generalised form of a query edge: label plus literal-or-``?var`` ends.
+
+    ``source`` / ``target`` hold the literal vertex value when the original
+    term was a literal, and :data:`ANY` when it was a variable.
+    """
+
+    label: str
+    source: str
+    target: str
+
+    @property
+    def source_is_variable(self) -> bool:
+        """``True`` when the source position was a variable."""
+        return self.source == ANY
+
+    @property
+    def target_is_variable(self) -> bool:
+        """``True`` when the target position was a variable."""
+        return self.target == ANY
+
+    def matches(self, edge: Edge) -> bool:
+        """Return ``True`` when a concrete graph ``edge`` satisfies this key."""
+        if edge.label != self.label:
+            return False
+        if not self.source_is_variable and edge.source != self.source:
+            return False
+        if not self.target_is_variable and edge.target != self.target:
+            return False
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.source} -[{self.label}]-> {self.target}"
+
+
+def generalize_term(value: Term) -> str:
+    """Map a term to its generalised key component (literal value or ``?var``)."""
+    if isinstance(value, Variable):
+        return ANY
+    return value.value
+
+
+def edge_key_for_query_edge(label: str, source: Term, target: Term) -> EdgeKey:
+    """Build the :class:`EdgeKey` for a query edge."""
+    return EdgeKey(label, generalize_term(source), generalize_term(target))
+
+
+def candidate_keys_for_edge(edge: Edge) -> tuple[EdgeKey, EdgeKey, EdgeKey, EdgeKey]:
+    """Enumerate the four generalised keys a concrete edge can match.
+
+    An update ``s -[l]-> t`` can satisfy query edges that fix both endpoints,
+    only the source, only the target, or neither.  The answering phase of
+    every engine probes its indexes with these four keys.
+    """
+    return (
+        EdgeKey(edge.label, edge.source, edge.target),
+        EdgeKey(edge.label, edge.source, ANY),
+        EdgeKey(edge.label, ANY, edge.target),
+        EdgeKey(edge.label, ANY, ANY),
+    )

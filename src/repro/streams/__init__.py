@@ -1,0 +1,17 @@
+"""Stream replay harness, metrics, and reporting."""
+
+from .metrics import Timer, TimingStats, deep_sizeof
+from .report import NotificationLog, format_replay_results, format_table
+from .runner import MatchListener, ReplayResult, StreamRunner
+
+__all__ = [
+    "Timer",
+    "TimingStats",
+    "deep_sizeof",
+    "StreamRunner",
+    "ReplayResult",
+    "MatchListener",
+    "NotificationLog",
+    "format_table",
+    "format_replay_results",
+]

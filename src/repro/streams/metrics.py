@@ -1,0 +1,140 @@
+"""Measurement utilities: wall-clock timing and approximate memory footprints.
+
+The paper reports (i) query answering time per update, (ii) query indexing
+time, and (iii) total main-memory requirements per algorithm.  This module
+provides the corresponding measurement primitives used by the replay harness
+and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+__all__ = ["Timer", "TimingStats", "deep_sizeof"]
+
+
+class Timer:
+    """A tiny ``perf_counter`` stopwatch usable as a context manager."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Elapsed time in milliseconds."""
+        return self.elapsed * 1e3
+
+
+@dataclass
+class TimingStats:
+    """Accumulates per-operation latencies (seconds) and summarises them."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample."""
+        self.samples.append(seconds)
+
+    def extend(self, seconds: Iterable[float]) -> None:
+        """Add many latency samples."""
+        self.samples.extend(seconds)
+
+    @property
+    def count(self) -> int:
+        """Number of samples."""
+        return len(self.samples)
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all samples."""
+        return sum(self.samples)
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean latency in milliseconds (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return statistics.fmean(self.samples) * 1e3
+
+    @property
+    def median_ms(self) -> float:
+        """Median latency in milliseconds (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return statistics.median(self.samples) * 1e3
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile latency in milliseconds (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
+        return ordered[index] * 1e3
+
+    @property
+    def max_ms(self) -> float:
+        """Maximum latency in milliseconds (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return max(self.samples) * 1e3
+
+    def summary(self) -> Dict[str, float]:
+        """All summary statistics as a dictionary."""
+        return {
+            "count": float(self.count),
+            "total_s": self.total_seconds,
+            "mean_ms": self.mean_ms,
+            "median_ms": self.median_ms,
+            "p95_ms": self.p95_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+def deep_sizeof(obj: object, _seen: set | None = None) -> int:
+    """Approximate deep memory footprint of ``obj`` in bytes.
+
+    Recursively follows containers, instance ``__dict__``s and ``__slots__``;
+    shared objects are counted once.  The absolute numbers are Python-object
+    sizes (not comparable to the paper's JVM measurements), but the *relative*
+    footprints across engines reproduce Fig. 13(c)'s ordering.
+    """
+    seen = _seen if _seen is not None else set()
+    object_id = id(obj)
+    if object_id in seen:
+        return 0
+    seen.add(object_id)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += deep_sizeof(key, seen)
+            size += deep_sizeof(value, seen)
+        return size
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += deep_sizeof(item, seen)
+        return size
+    if isinstance(obj, (str, bytes, bytearray, int, float, bool, complex)) or obj is None:
+        return size
+    if hasattr(obj, "__dict__"):
+        size += deep_sizeof(vars(obj), seen)
+    slots = getattr(type(obj), "__slots__", ())
+    if isinstance(slots, str):
+        slots = (slots,)
+    for slot in slots:
+        if hasattr(obj, slot):
+            size += deep_sizeof(getattr(obj, slot), seen)
+    return size

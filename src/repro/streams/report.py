@@ -1,0 +1,89 @@
+"""Plain-text reporting helpers shared by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .runner import ReplayResult
+
+__all__ = ["format_table", "format_replay_results", "NotificationLog"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table (no external dependencies)."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_replay_results(results: Iterable[ReplayResult]) -> str:
+    """Tabulate replay results across engines (one row per engine)."""
+    headers = (
+        "engine",
+        "updates",
+        "answering ms/update",
+        "indexing s",
+        "matched updates",
+        "timed out",
+        "memory MB",
+    )
+    rows = []
+    for result in results:
+        memory = (
+            f"{result.memory_bytes / (1024 * 1024):.1f}"
+            if result.memory_bytes is not None
+            else "-"
+        )
+        rows.append(
+            (
+                result.engine,
+                f"{result.updates_processed}/{result.num_updates}",
+                f"{result.answering_time_ms_per_update:.3f}",
+                f"{result.indexing_time_s:.3f}",
+                result.matched_updates,
+                "yes" if result.timed_out else "no",
+                memory,
+            )
+        )
+    return format_table(headers, rows)
+
+
+class NotificationLog:
+    """A match listener that records every notification it receives.
+
+    Useful in examples and tests to observe the pub/sub behaviour of the
+    engines without wiring a real delivery channel.
+    """
+
+    def __init__(self) -> None:
+        self.notifications: List[Dict[str, object]] = []
+
+    def __call__(self, update, matched) -> None:
+        self.notifications.append(
+            {
+                "timestamp": update.timestamp,
+                "edge": str(update.edge),
+                "queries": sorted(matched),
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self.notifications)
+
+    def queries_notified(self) -> List[str]:
+        """Distinct query ids that have been notified at least once."""
+        seen = []
+        for record in self.notifications:
+            for query_id in record["queries"]:
+                if query_id not in seen:
+                    seen.append(query_id)
+        return seen

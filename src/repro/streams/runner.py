@@ -1,0 +1,153 @@
+"""Stream replay harness: drive an engine with a stream and measure it.
+
+The runner reproduces the paper's measurement protocol:
+
+* *indexing time* — wall-clock time to register the query database,
+* *answering time* — wall-clock time per update to determine the satisfied
+  queries (averaged over the stream),
+* *time budget* — the paper aborts algorithms that exceed 24 hours on an
+  experiment; the runner accepts a (much smaller) budget and reports the
+  number of updates processed before it was exhausted, which is how the
+  "timed out at |GE| = X" asterisks of Figs. 12(f), 13(a) and 14 are
+  regenerated,
+* *notification listeners* — pub/sub-style callbacks invoked with every
+  non-empty answer set, which is how applications consume the engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from ..core.engine import ContinuousEngine
+from ..graph.elements import Update
+from ..graph.stream import GraphStream
+from ..query.pattern import QueryGraphPattern
+from .metrics import TimingStats, deep_sizeof
+
+__all__ = ["MatchListener", "ReplayResult", "StreamRunner"]
+
+#: Callback invoked with (update, matched query ids) for non-empty answers.
+MatchListener = Callable[[Update, FrozenSet[str]], None]
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one stream through one engine."""
+
+    engine: str
+    num_updates: int
+    updates_processed: int
+    indexing_time_s: float
+    answering: TimingStats = field(default_factory=TimingStats)
+    matches_emitted: int = 0
+    matched_updates: int = 0
+    timed_out: bool = False
+    memory_bytes: Optional[int] = None
+
+    @property
+    def answering_time_ms_per_update(self) -> float:
+        """Mean answering time per update in milliseconds."""
+        return self.answering.mean_ms
+
+    @property
+    def total_answering_time_s(self) -> float:
+        """Total answering time across the replay in seconds."""
+        return self.answering.total_seconds
+
+    @property
+    def completed(self) -> bool:
+        """``True`` when every update of the stream was processed."""
+        return self.updates_processed == self.num_updates and not self.timed_out
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary used by reports and EXPERIMENTS.md generation."""
+        return {
+            "engine": self.engine,
+            "num_updates": self.num_updates,
+            "updates_processed": self.updates_processed,
+            "indexing_time_s": round(self.indexing_time_s, 6),
+            "answering_ms_per_update": round(self.answering_time_ms_per_update, 6),
+            "total_answering_s": round(self.total_answering_time_s, 6),
+            "matches_emitted": self.matches_emitted,
+            "matched_updates": self.matched_updates,
+            "timed_out": self.timed_out,
+            "memory_bytes": self.memory_bytes,
+        }
+
+
+class StreamRunner:
+    """Replay update streams through a continuous-query engine."""
+
+    def __init__(
+        self,
+        engine: ContinuousEngine,
+        *,
+        listeners: Sequence[MatchListener] = (),
+        time_budget_s: Optional[float] = None,
+    ) -> None:
+        self.engine = engine
+        self.listeners: List[MatchListener] = list(listeners)
+        self.time_budget_s = time_budget_s
+        self.indexing_time_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: MatchListener) -> None:
+        """Register a notification callback."""
+        self.listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Query indexing
+    # ------------------------------------------------------------------
+    def index_queries(self, queries: Iterable[QueryGraphPattern]) -> float:
+        """Register ``queries`` with the engine, returning the elapsed seconds."""
+        start = time.perf_counter()
+        self.engine.register_all(queries)
+        elapsed = time.perf_counter() - start
+        self.indexing_time_s += elapsed
+        return elapsed
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        stream: GraphStream | Sequence[Update],
+        *,
+        measure_memory: bool = False,
+    ) -> ReplayResult:
+        """Feed every update of ``stream`` to the engine and measure it.
+
+        The replay stops early (and flags ``timed_out``) once the cumulative
+        answering time exceeds the configured time budget.
+        """
+        updates = list(stream)
+        result = ReplayResult(
+            engine=self.engine.name,
+            num_updates=len(updates),
+            updates_processed=0,
+            indexing_time_s=self.indexing_time_s,
+        )
+        budget = self.time_budget_s
+        elapsed_total = 0.0
+        for update in updates:
+            start = time.perf_counter()
+            matched = self.engine.on_update(update)
+            elapsed = time.perf_counter() - start
+            result.answering.record(elapsed)
+            result.updates_processed += 1
+            elapsed_total += elapsed
+            if matched:
+                result.matched_updates += 1
+                result.matches_emitted += len(matched)
+                for listener in self.listeners:
+                    listener(update, matched)
+            if budget is not None and elapsed_total > budget:
+                result.timed_out = True
+                break
+        if measure_memory:
+            result.memory_bytes = deep_sizeof(self.engine)
+        return result

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryBuilder, add
+from repro.graph import GraphStream
+from repro.query import QueryGraphPattern
+
+
+@pytest.fixture
+def checkin_query() -> QueryGraphPattern:
+    """The paper's running example: two acquainted people check in at one place."""
+    return (
+        QueryBuilder("checkin")
+        .edge("knows", "?p1", "?p2")
+        .edge("checksIn", "?p1", "?place")
+        .edge("checksIn", "?p2", "?place")
+        .build()
+    )
+
+
+@pytest.fixture
+def paper_fig4_queries() -> list[QueryGraphPattern]:
+    """The four query graph patterns of the paper's Fig. 4(a)."""
+    q1 = QueryGraphPattern(
+        "Q1",
+        [
+            ("hasMod", "?f1", "?p1"),
+            ("posted", "?p1", "pst1"),
+            ("posted", "?p1", "pst2"),
+            ("reply", "?com1", "pst2"),
+        ],
+    )
+    q2 = QueryGraphPattern("Q2", [("hasMod", "?f1", "?p1")])
+    q3 = QueryGraphPattern(
+        "Q3",
+        [
+            ("hasCreator", "com1", "?p1"),
+            ("posted", "?p1", "pst1"),
+            ("containedIn", "pst1", "?f2"),
+        ],
+    )
+    q4 = QueryGraphPattern(
+        "Q4",
+        [
+            ("hasMod", "?f1", "?p1"),
+            ("posted", "?p1", "pst1"),
+            ("containedIn", "pst1", "?f2"),
+        ],
+    )
+    return [q1, q2, q3, q4]
+
+
+@pytest.fixture
+def checkin_stream() -> GraphStream:
+    """A small stream that satisfies the check-in query exactly once."""
+    return GraphStream(
+        [
+            add("knows", "P1", "P2"),
+            add("checksIn", "P1", "rio"),
+            add("checksIn", "P3", "rio"),
+            add("checksIn", "P2", "rio"),
+        ],
+        name="checkin",
+    )

@@ -1,0 +1,117 @@
+"""Tests for the INV / INV+ / INC / INC+ baselines and the naive oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    INCEngine,
+    INCPlusEngine,
+    INVEngine,
+    INVPlusEngine,
+    NaiveEngine,
+    add,
+    delete,
+)
+from repro.query import QueryBuilder, QueryGraphPattern
+
+BASELINES = [INVEngine, INVPlusEngine, INCEngine, INCPlusEngine, NaiveEngine]
+BASELINE_IDS = ["INV", "INV+", "INC", "INC+", "Naive"]
+
+
+@pytest.fixture(params=BASELINES, ids=BASELINE_IDS)
+def engine(request):
+    return request.param()
+
+
+class TestAnswering:
+    def test_checkin_example(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        answers = [engine.on_update(update) for update in checkin_stream]
+        assert [bool(a) for a in answers] == [False, False, False, True]
+        assert engine.satisfied_queries() == {"checkin"}
+        assert engine.matches_of("checkin") == [{"p1": "P1", "p2": "P2", "place": "rio"}]
+
+    def test_duplicate_edge_produces_no_new_answers(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        for update in checkin_stream:
+            engine.on_update(update)
+        assert engine.on_update(add("checksIn", "P2", "rio")) == frozenset()
+
+    def test_cycle_query(self, engine):
+        triangle = QueryGraphPattern(
+            "triangle",
+            [("knows", "?a", "?b"), ("knows", "?b", "?c"), ("knows", "?c", "?a")],
+        )
+        engine.register(triangle)
+        engine.on_update(add("knows", "x", "y"))
+        engine.on_update(add("knows", "y", "z"))
+        assert engine.on_update(add("knows", "z", "x")) == {"triangle"}
+
+    def test_literal_constraints(self, engine):
+        engine.register(QueryBuilder("q").edge("posted", "?p", "pst1").build())
+        assert engine.on_update(add("posted", "u", "other")) == frozenset()
+        assert engine.on_update(add("posted", "u", "pst1")) == {"q"}
+
+    def test_deletion_invalidates(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        for update in checkin_stream:
+            engine.on_update(update)
+        assert engine.on_update(delete("checksIn", "P2", "rio")) == {"checkin"}
+        assert engine.satisfied_queries() == frozenset()
+
+    def test_deletion_of_redundant_edge_keeps_satisfaction(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        for update in checkin_stream:
+            engine.on_update(update)
+        assert engine.on_update(delete("checksIn", "P3", "rio")) == frozenset()
+        assert engine.satisfied_queries() == {"checkin"}
+
+
+class TestCachingVariants:
+    def test_plus_variants_report_cache_enabled(self):
+        assert INVPlusEngine().cache_enabled
+        assert INCPlusEngine().cache_enabled
+        assert not INVEngine().cache_enabled
+        assert not INCEngine().cache_enabled
+
+    def test_names(self):
+        assert INVEngine().name == "INV"
+        assert INVPlusEngine().name == "INV+"
+        assert INCEngine().name == "INC"
+        assert INCPlusEngine().name == "INC+"
+        assert NaiveEngine().name == "Naive"
+
+    def test_statistics_exposed(self, paper_fig4_queries):
+        engine = INVEngine()
+        engine.register_all(paper_fig4_queries)
+        stats = engine.statistics()
+        assert stats["indexed_keys"] > 0
+        assert stats["base_views"] == stats["indexed_keys"]
+        assert stats["source_terms"] > 0
+
+
+class TestInjectiveMode:
+    @pytest.mark.parametrize("engine_cls", BASELINES, ids=BASELINE_IDS)
+    def test_injective_rejects_reflexive_bindings(self, engine_cls):
+        engine = engine_cls(injective=True)
+        engine.register(QueryBuilder("q").edge("knows", "?a", "?b").build())
+        assert engine.on_update(add("knows", "x", "x")) == frozenset()
+        assert engine.on_update(add("knows", "x", "y")) == {"q"}
+
+
+class TestNaiveOracle:
+    def test_graph_is_exposed(self, checkin_query, checkin_stream):
+        engine = NaiveEngine()
+        engine.register(checkin_query)
+        for update in checkin_stream:
+            engine.on_update(update)
+        assert engine.graph.num_edges == len(checkin_stream)
+
+    def test_matches_are_sorted(self):
+        engine = NaiveEngine()
+        engine.register(QueryBuilder("q").edge("knows", "?a", "?b").build())
+        engine.on_update(add("knows", "b", "c"))
+        engine.on_update(add("knows", "a", "c"))
+        matches = engine.matches_of("q")
+        assert matches == sorted(matches, key=lambda m: tuple(sorted(m.items())))

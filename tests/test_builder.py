@@ -1,0 +1,64 @@
+"""Unit tests for the fluent query builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.errors import QueryError
+from repro.query import QueryBuilder
+from repro.query.terms import Literal, Variable
+
+
+class TestQueryBuilder:
+    def test_build_simple_query(self):
+        query = QueryBuilder("q").edge("knows", "?a", "?b").build()
+        assert query.query_id == "q"
+        assert query.num_edges == 1
+        assert query.edges[0].source == Variable("a")
+
+    def test_edge_returns_self_for_chaining(self):
+        builder = QueryBuilder("q")
+        assert builder.edge("knows", "?a", "?b") is builder
+
+    def test_literal_terms(self):
+        query = QueryBuilder("q").edge("posted", "?p", "pst1").build()
+        assert query.edges[0].target == Literal("pst1")
+
+    def test_num_edges_property(self):
+        builder = QueryBuilder("q").edge("a", "?x", "?y")
+        assert builder.num_edges == 1
+
+    def test_chain_helper(self):
+        query = QueryBuilder("q").chain("knows", "?a", "?b", "?c").build()
+        assert query.num_edges == 2
+        assert query.is_chain()
+
+    def test_chain_requires_two_vertices(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("q").chain("knows", "?a")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("q").edge("", "?a", "?b")
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("q").build()
+
+    def test_disconnected_pattern_rejected(self):
+        builder = QueryBuilder("q").edge("a", "?x", "?y").edge("b", "?u", "?v")
+        with pytest.raises(QueryError):
+            builder.build()
+
+    def test_connected_through_literal_is_accepted(self):
+        query = (
+            QueryBuilder("q")
+            .edge("posted", "?a", "pst1")
+            .edge("containedIn", "pst1", "?f")
+            .build()
+        )
+        assert query.num_edges == 2
+
+    def test_custom_name(self):
+        query = QueryBuilder("q", name="pretty").edge("a", "?x", "?y").build()
+        assert query.name == "pretty"

@@ -1,0 +1,140 @@
+"""Tests for the covering-path decomposition (paper Section 4.1, Step 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.errors import DecompositionError
+from repro.query import QueryGraphPattern, covering_paths
+from repro.query.paths import CoveringPath, is_subpath
+
+
+def _assert_valid_cover(pattern: QueryGraphPattern, paths) -> None:
+    """Definition 4.2: every edge and every vertex appears in some path."""
+    covered_edges = set()
+    covered_terms = set()
+    for path in paths:
+        covered_edges.update(path.edge_indices())
+        covered_terms.update(path.terms())
+        # paths are connected walks
+        for previous, current in zip(path.edges, path.edges[1:]):
+            assert previous.target == current.source
+    assert covered_edges == {edge.index for edge in pattern.edges}
+    assert covered_terms == set(pattern.vertices)
+
+
+class TestKnownDecompositions:
+    def test_single_edge(self):
+        pattern = QueryGraphPattern("q", [("knows", "?a", "?b")])
+        paths = covering_paths(pattern)
+        assert len(paths) == 1
+        assert paths[0].length == 1
+
+    def test_chain_produces_one_path(self):
+        pattern = QueryGraphPattern(
+            "q", [("a", "?x", "?y"), ("b", "?y", "?z"), ("c", "?z", "?w")]
+        )
+        paths = covering_paths(pattern)
+        assert len(paths) == 1
+        assert paths[0].length == 3
+
+    def test_cycle_is_covered(self):
+        pattern = QueryGraphPattern(
+            "cycle", [("knows", "?a", "?b"), ("knows", "?b", "?c"), ("knows", "?c", "?a")]
+        )
+        paths = covering_paths(pattern)
+        _assert_valid_cover(pattern, paths)
+
+    def test_star_produces_multiple_paths_sharing_no_edges_needlessly(self):
+        pattern = QueryGraphPattern(
+            "star", [("a", "?hub", "?x"), ("b", "?hub", "?y"), ("c", "?hub", "?z")]
+        )
+        paths = covering_paths(pattern)
+        _assert_valid_cover(pattern, paths)
+        assert len(paths) == 3
+
+    def test_paper_fig4_queries(self, paper_fig4_queries):
+        # Q1 decomposes into three covering paths as in Fig. 4(b); Q2–Q4 into one.
+        expected_path_counts = {"Q1": 3, "Q2": 1, "Q3": 1, "Q4": 1}
+        for pattern in paper_fig4_queries:
+            paths = covering_paths(pattern)
+            _assert_valid_cover(pattern, paths)
+            assert len(paths) == expected_path_counts[pattern.query_id], pattern.query_id
+
+    def test_fig4_q1_and_q4_share_a_prefix(self, paper_fig4_queries):
+        q1, _, _, q4 = paper_fig4_queries
+        q1_prefixes = {path.key_sequence()[:2] for path in covering_paths(q1)}
+        q4_prefixes = {path.key_sequence()[:2] for path in covering_paths(q4)}
+        assert q1_prefixes & q4_prefixes, "Q1 and Q4 should share the hasMod/posted prefix"
+
+
+class TestCoveringPathClass:
+    def test_terms_positions(self):
+        pattern = QueryGraphPattern("q", [("a", "?x", "?y"), ("b", "?y", "pst")])
+        path = covering_paths(pattern)[0]
+        assert len(path.terms()) == path.length + 1
+        assert str(path)
+
+    def test_disconnected_edges_rejected(self):
+        pattern = QueryGraphPattern("q", [("a", "?x", "?y"), ("b", "?z", "?w")])
+        with pytest.raises(DecompositionError):
+            CoveringPath((pattern.edges[0], pattern.edges[1]))
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(DecompositionError):
+            CoveringPath(())
+
+    def test_is_subpath(self):
+        pattern = QueryGraphPattern(
+            "q", [("a", "?x", "?y"), ("b", "?y", "?z"), ("c", "?z", "?w")]
+        )
+        full = covering_paths(pattern)[0]
+        prefix = CoveringPath(full.edges[:2])
+        middle = CoveringPath(full.edges[1:2])
+        assert is_subpath(prefix, full)
+        assert is_subpath(middle, full)
+        assert not is_subpath(full, prefix)
+
+
+@st.composite
+def random_patterns(draw):
+    """Random connected query graph patterns (chains with extra branches)."""
+    num_edges = draw(st.integers(min_value=1, max_value=6))
+    labels = ["a", "b", "c"]
+    edges = []
+    # Start with a chain to guarantee weak connectivity, then add branches.
+    for i in range(num_edges):
+        label = draw(st.sampled_from(labels))
+        if i == 0 or draw(st.booleans()):
+            source = f"?v{i}"
+            target = f"?v{i + 1}"
+        else:
+            source = f"?v{draw(st.integers(min_value=0, max_value=i))}"
+            target = f"?v{i + 1}"
+        edges.append((label, source, target))
+    return QueryGraphPattern("random", edges)
+
+
+class TestCoveringPathProperties:
+    @given(random_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_every_pattern_is_fully_covered(self, pattern):
+        paths = covering_paths(pattern)
+        _assert_valid_cover(pattern, paths)
+
+    @given(random_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_no_path_is_a_subpath_of_another(self, pattern):
+        paths = covering_paths(pattern)
+        for i, path in enumerate(paths):
+            for j, other in enumerate(paths):
+                if i != j and path.length < other.length:
+                    assert not is_subpath(path, other)
+
+    @given(random_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_number_of_paths_is_bounded_by_number_of_edges(self, pattern):
+        paths = covering_paths(pattern)
+        assert 1 <= len(paths) <= pattern.num_edges

@@ -1,0 +1,119 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    BioGridConfig,
+    BioGridGenerator,
+    DatasetConfig,
+    SNBConfig,
+    SNBGenerator,
+    TaxiConfig,
+    TaxiGenerator,
+    ZipfSampler,
+)
+from repro.datasets import DATASET_GENERATORS
+from repro.graph.errors import DatasetError
+
+import random
+
+
+class TestConfigValidation:
+    def test_non_positive_updates_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetConfig(num_updates=0)
+
+    def test_snb_pool_sizes_validated(self):
+        with pytest.raises(DatasetError):
+            SNBConfig(num_persons=0)
+
+    def test_taxi_pool_sizes_validated(self):
+        with pytest.raises(DatasetError):
+            TaxiConfig(grid_size=0)
+
+    def test_biogrid_validation(self):
+        with pytest.raises(DatasetError):
+            BioGridConfig(num_proteins=1)
+        with pytest.raises(DatasetError):
+            BioGridConfig(preferential_attachment=1.5)
+
+
+class TestZipfSampler:
+    def test_samples_stay_in_range(self):
+        sampler = ZipfSampler(10, 1.0, random.Random(1))
+        samples = [sampler.sample() for _ in range(500)]
+        assert all(0 <= s < 10 for s in samples)
+
+    def test_skew_prefers_low_ranks(self):
+        sampler = ZipfSampler(50, 1.2, random.Random(2))
+        samples = [sampler.sample() for _ in range(2000)]
+        low = sum(1 for s in samples if s < 10)
+        high = sum(1 for s in samples if s >= 40)
+        assert low > high
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            ZipfSampler(0, 1.0, random.Random(1))
+        with pytest.raises(DatasetError):
+            ZipfSampler(5, -1.0, random.Random(1))
+
+
+@pytest.mark.parametrize("generator_cls,config", [
+    (SNBGenerator, SNBConfig(num_updates=800, seed=4)),
+    (TaxiGenerator, TaxiConfig(num_updates=800, seed=4)),
+    (BioGridGenerator, BioGridConfig(num_updates=800, seed=4)),
+])
+class TestGenerators:
+    def test_requested_stream_length(self, generator_cls, config):
+        stream = generator_cls(config).stream()
+        assert len(stream) == 800
+
+    def test_streams_are_addition_only(self, generator_cls, config):
+        stream = generator_cls(config).stream()
+        assert all(update.is_addition for update in stream)
+
+    def test_deterministic_for_fixed_seed(self, generator_cls, config):
+        first = [u.edge for u in generator_cls(config).stream()]
+        second = [u.edge for u in generator_cls(config).stream()]
+        assert first == second
+
+    def test_different_seeds_differ(self, generator_cls, config):
+        other = type(config)(num_updates=config.num_updates, seed=config.seed + 1)
+        first = [u.edge for u in generator_cls(config).stream()]
+        second = [u.edge for u in generator_cls(other).stream()]
+        assert first != second
+
+
+class TestDatasetCharacteristics:
+    def test_snb_has_the_social_label_alphabet(self):
+        stream = SNBGenerator(SNBConfig(num_updates=1_000, seed=3)).stream()
+        labels = set(stream.statistics().label_histogram)
+        assert {"knows", "posted", "hasModerator", "containedIn", "hasCreator"} <= labels
+
+    def test_taxi_has_ride_labels(self):
+        stream = TaxiGenerator(TaxiConfig(num_updates=1_000, seed=3)).stream()
+        labels = set(stream.statistics().label_histogram)
+        assert {"pickupAt", "dropoffAt", "drivenBy", "performedBy", "paidWith"} <= labels
+
+    def test_biogrid_is_a_single_label_stress_test(self):
+        stream = BioGridGenerator(BioGridConfig(num_updates=1_000, seed=3)).stream()
+        stats = stream.statistics()
+        assert set(stats.label_histogram) == {"interacts"}
+
+    def test_biogrid_reuses_hub_proteins(self):
+        stream = BioGridGenerator(
+            BioGridConfig(num_updates=1_000, num_proteins=200, seed=5)
+        ).stream()
+        graph = stream.to_graph()
+        degrees = sorted(
+            (graph.out_degree(v) + graph.in_degree(v) for v in graph.vertices()),
+            reverse=True,
+        )
+        # Preferential attachment: the busiest protein sees far more
+        # interactions than the median one.
+        assert degrees[0] >= 5 * max(1, degrees[len(degrees) // 2])
+
+    def test_registry_lists_all_three_datasets(self):
+        assert set(DATASET_GENERATORS) == {"snb", "taxi", "biogrid"}

@@ -1,0 +1,76 @@
+"""Tests for the shared ContinuousEngine interface behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ENGINE_FACTORIES, add, create_engine, delete
+from repro.graph import GraphStream
+from repro.graph.errors import DuplicateQueryError, UnknownQueryError
+from repro.query import QueryBuilder
+
+ALL_ENGINE_NAMES = list(ENGINE_FACTORIES)
+
+
+@pytest.fixture(params=ALL_ENGINE_NAMES)
+def engine(request):
+    return create_engine(request.param)
+
+
+class TestQueryManagement:
+    def test_queries_property_reflects_registrations(self, engine, checkin_query):
+        assert engine.num_queries == 0
+        engine.register(checkin_query)
+        assert engine.num_queries == 1
+        assert set(engine.queries) == {"checkin"}
+
+    def test_register_all(self, engine, paper_fig4_queries):
+        engine.register_all(paper_fig4_queries)
+        assert engine.num_queries == 4
+
+    def test_duplicate_registration_rejected(self, engine, checkin_query):
+        engine.register(checkin_query)
+        with pytest.raises(DuplicateQueryError):
+            engine.register(checkin_query)
+
+    def test_unknown_query_lookup_raises(self, engine):
+        with pytest.raises(UnknownQueryError):
+            engine.matches_of("missing")
+
+
+class TestStreamConsumption:
+    def test_process_returns_per_update_answers(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        answers = engine.process(checkin_stream)
+        assert len(answers) == len(checkin_stream)
+        assert answers[-1] == frozenset({"checkin"})
+        assert engine.updates_processed == len(checkin_stream)
+
+    def test_satisfied_queries_accumulate(self, engine):
+        engine.register(QueryBuilder("q1").edge("a", "?x", "?y").build())
+        engine.register(QueryBuilder("q2").edge("b", "?x", "?y").build())
+        engine.on_update(add("a", "1", "2"))
+        assert engine.satisfied_queries() == {"q1"}
+        engine.on_update(add("b", "1", "2"))
+        assert engine.satisfied_queries() == {"q1", "q2"}
+
+    def test_deletion_shrinks_satisfied_set(self, engine):
+        engine.register(QueryBuilder("q1").edge("a", "?x", "?y").build())
+        engine.on_update(add("a", "1", "2"))
+        engine.on_update(delete("a", "1", "2"))
+        assert engine.satisfied_queries() == frozenset()
+
+    def test_describe_contains_counters(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        engine.process(checkin_stream)
+        description = engine.describe()
+        assert description["queries"] == 1
+        assert description["updates_processed"] == len(checkin_stream)
+        assert description["satisfied"] == 1
+        assert description["engine"] == engine.name
+
+    def test_engines_accept_graphstream_and_plain_lists(self, engine, checkin_query):
+        engine.register(checkin_query)
+        stream = GraphStream([add("knows", "a", "b")])
+        assert engine.process(stream) == [frozenset()]
+        assert engine.process([add("checksIn", "a", "rio")]) == [frozenset()]

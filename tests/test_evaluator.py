@@ -1,0 +1,100 @@
+"""Tests for the backtracking matcher (reference semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Edge, Graph
+from repro.matching.evaluator import count_embeddings, find_embeddings, find_new_embeddings
+from repro.query import QueryGraphPattern
+
+
+@pytest.fixture
+def social_graph() -> Graph:
+    graph = Graph()
+    for label, source, target in [
+        ("knows", "a", "b"),
+        ("knows", "b", "c"),
+        ("knows", "c", "a"),
+        ("checksIn", "a", "rio"),
+        ("checksIn", "b", "rio"),
+        ("checksIn", "c", "paris"),
+    ]:
+        graph.add_edge(Edge(label, source, target))
+    return graph
+
+
+class TestFindEmbeddings:
+    def test_single_edge_query(self, social_graph):
+        pattern = QueryGraphPattern("q", [("checksIn", "?p", "rio")])
+        embeddings = find_embeddings(social_graph, pattern)
+        assert {e["p"] for e in embeddings} == {"a", "b"}
+
+    def test_chain_query(self, social_graph):
+        pattern = QueryGraphPattern("q", [("knows", "?x", "?y"), ("knows", "?y", "?z")])
+        embeddings = find_embeddings(social_graph, pattern)
+        assert len(embeddings) == 3  # the triangle closes three 2-hop chains
+
+    def test_checkin_pattern(self, social_graph, checkin_query):
+        embeddings = find_embeddings(social_graph, checkin_query)
+        assert {(e["p1"], e["p2"], e["place"]) for e in embeddings} == {("a", "b", "rio")}
+
+    def test_triangle_query(self, social_graph):
+        pattern = QueryGraphPattern(
+            "tri", [("knows", "?x", "?y"), ("knows", "?y", "?z"), ("knows", "?z", "?x")]
+        )
+        embeddings = find_embeddings(social_graph, pattern)
+        assert len(embeddings) == 3  # three rotations of the single triangle
+
+    def test_no_match(self, social_graph):
+        pattern = QueryGraphPattern("q", [("likes", "?a", "?b")])
+        assert find_embeddings(social_graph, pattern) == []
+
+    def test_limit(self, social_graph):
+        pattern = QueryGraphPattern("q", [("knows", "?x", "?y")])
+        assert len(find_embeddings(social_graph, pattern, limit=2)) == 2
+
+    def test_homomorphism_vs_isomorphism(self):
+        graph = Graph([Edge("knows", "a", "a")])
+        pattern = QueryGraphPattern("q", [("knows", "?x", "?y")])
+        assert count_embeddings(graph, pattern) == 1
+        assert count_embeddings(graph, pattern, injective=True) == 0
+
+    def test_literal_vertex_constrains_matching(self, social_graph):
+        pattern = QueryGraphPattern("q", [("knows", "a", "?y")])
+        embeddings = find_embeddings(social_graph, pattern)
+        assert {e["y"] for e in embeddings} == {"b"}
+
+
+class TestFindNewEmbeddings:
+    def test_new_edge_completes_a_pattern(self, checkin_query):
+        graph = Graph(
+            [Edge("knows", "p1", "p2"), Edge("checksIn", "p1", "rio")]
+        )
+        new_edge = Edge("checksIn", "p2", "rio")
+        graph.add_edge(new_edge)
+        embeddings = find_new_embeddings(graph, checkin_query, new_edge)
+        assert len(embeddings) == 1
+        assert embeddings[0] == {"p1": "p1", "p2": "p2", "place": "rio"}
+
+    def test_edge_not_used_by_pattern_yields_nothing(self, checkin_query):
+        graph = Graph([Edge("likes", "p1", "post")])
+        embeddings = find_new_embeddings(graph, checkin_query, Edge("likes", "p1", "post"))
+        assert embeddings == []
+
+    def test_results_must_use_the_new_edge(self):
+        pattern = QueryGraphPattern("q", [("knows", "?x", "?y")])
+        graph = Graph([Edge("knows", "a", "b")])
+        new_edge = Edge("knows", "c", "d")
+        graph.add_edge(new_edge)
+        embeddings = find_new_embeddings(graph, pattern, new_edge)
+        assert embeddings == [{"x": "c", "y": "d"}]
+
+    def test_limit_short_circuits(self, social_graph):
+        pattern = QueryGraphPattern("q", [("knows", "?x", "?y")])
+        new_edge = Edge("knows", "a", "b")
+        assert len(find_new_embeddings(social_graph, pattern, new_edge, limit=1)) == 1
+
+    def test_count_embeddings(self, social_graph):
+        pattern = QueryGraphPattern("q", [("knows", "?x", "?y")])
+        assert count_embeddings(social_graph, pattern) == 3

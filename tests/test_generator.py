@@ -1,0 +1,122 @@
+"""Tests for the synthetic query-workload generator (paper Section 6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import SNBConfig, SNBGenerator
+from repro.graph import Graph
+from repro.graph.errors import DatasetError
+from repro.query import (
+    QueryWorkloadConfig,
+    QueryWorkloadGenerator,
+    generate_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def snb_stream():
+    return SNBGenerator(SNBConfig(num_updates=1_500, seed=2)).stream()
+
+
+@pytest.fixture(scope="module")
+def snb_graph(snb_stream) -> Graph:
+    return snb_stream.to_graph()
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        QueryWorkloadConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_queries": 0},
+            {"avg_edges": 0},
+            {"selectivity": 1.5},
+            {"selectivity": -0.1},
+            {"overlap": 2.0},
+            {"variable_ratio": -1.0},
+            {"classes": ("chain", "triangle")},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(DatasetError):
+            QueryWorkloadConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_requested_number_of_queries(self, snb_graph):
+        config = QueryWorkloadConfig(num_queries=60, seed=1)
+        workload = QueryWorkloadGenerator(snb_graph, config).generate()
+        assert len(workload) == 60
+        assert len({q.query_id for q in workload.queries}) == 60
+
+    def test_selectivity_bookkeeping(self, snb_graph):
+        config = QueryWorkloadConfig(num_queries=40, selectivity=0.25, seed=3)
+        workload = QueryWorkloadGenerator(snb_graph, config).generate()
+        assert len(workload.satisfiable_ids) == 10
+
+    def test_overlap_bookkeeping(self, snb_graph):
+        config = QueryWorkloadConfig(num_queries=40, overlap=0.5, seed=3)
+        workload = QueryWorkloadGenerator(snb_graph, config).generate()
+        assert len(workload.overlapping_ids) >= 1
+
+    def test_average_query_size_is_close_to_requested(self, snb_graph):
+        config = QueryWorkloadConfig(num_queries=80, avg_edges=5, seed=4)
+        workload = QueryWorkloadGenerator(snb_graph, config).generate()
+        average = sum(q.num_edges for q in workload.queries) / len(workload)
+        assert 2.0 <= average <= 7.0
+
+    def test_every_query_has_at_least_one_variable(self, snb_graph):
+        config = QueryWorkloadConfig(num_queries=50, variable_ratio=0.1, seed=5)
+        workload = QueryWorkloadGenerator(snb_graph, config).generate()
+        assert all(q.variables() for q in workload.queries)
+
+    def test_deterministic_for_fixed_seed(self, snb_graph):
+        config = QueryWorkloadConfig(num_queries=30, seed=9)
+        first = QueryWorkloadGenerator(snb_graph, config).generate()
+        second = QueryWorkloadGenerator(snb_graph, config).generate()
+        assert [q.edges for q in first.queries] == [q.edges for q in second.queries]
+
+    def test_different_seeds_differ(self, snb_graph):
+        first = QueryWorkloadGenerator(snb_graph, QueryWorkloadConfig(num_queries=30, seed=1)).generate()
+        second = QueryWorkloadGenerator(snb_graph, QueryWorkloadConfig(num_queries=30, seed=2)).generate()
+        assert [q.edges for q in first.queries] != [q.edges for q in second.queries]
+
+    def test_generate_workload_wrapper(self, snb_stream):
+        workload = generate_workload(snb_stream, QueryWorkloadConfig(num_queries=20, seed=6))
+        assert len(workload) == 20
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(DatasetError):
+            QueryWorkloadGenerator(Graph(), QueryWorkloadConfig(num_queries=5))
+
+
+class TestSatisfiability:
+    def test_satisfiable_queries_actually_match_the_final_graph(self, snb_stream):
+        """Satisfiable queries must be satisfied once the whole stream is replayed."""
+        from repro import TRICPlusEngine
+
+        workload = generate_workload(
+            snb_stream, QueryWorkloadConfig(num_queries=30, selectivity=0.4, seed=8)
+        )
+        engine = TRICPlusEngine()
+        engine.register_all(workload.queries)
+        for update in snb_stream:
+            engine.on_update(update)
+        satisfied = engine.satisfied_queries()
+        assert workload.satisfiable_ids <= satisfied
+
+    def test_unsatisfiable_queries_never_match(self, snb_stream):
+        from repro import TRICEngine
+
+        workload = generate_workload(
+            snb_stream, QueryWorkloadConfig(num_queries=30, selectivity=0.3, seed=12)
+        )
+        engine = TRICEngine()
+        engine.register_all(workload.queries)
+        for update in snb_stream:
+            engine.on_update(update)
+        unsatisfiable = {q.query_id for q in workload.queries} - workload.satisfiable_ids
+        assert not (engine.satisfied_queries() & unsatisfiable)

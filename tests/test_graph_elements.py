@@ -1,0 +1,80 @@
+"""Unit tests for graph primitives: edges, updates, and stream helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.elements import Edge, Update, UpdateKind, add, delete, renumber
+
+
+class TestEdge:
+    def test_edge_fields(self):
+        edge = Edge("knows", "alice", "bob")
+        assert edge.label == "knows"
+        assert edge.source == "alice"
+        assert edge.target == "bob"
+
+    def test_endpoints(self):
+        assert Edge("knows", "a", "b").endpoints() == ("a", "b")
+
+    def test_reversed_swaps_endpoints(self):
+        assert Edge("knows", "a", "b").reversed() == Edge("knows", "b", "a")
+
+    def test_edges_are_hashable_and_comparable(self):
+        assert Edge("l", "a", "b") == Edge("l", "a", "b")
+        assert Edge("l", "a", "b") != Edge("l", "b", "a")
+        assert len({Edge("l", "a", "b"), Edge("l", "a", "b")}) == 1
+
+    def test_str_rendering(self):
+        assert "knows" in str(Edge("knows", "a", "b"))
+
+
+class TestUpdate:
+    def test_default_kind_is_addition(self):
+        update = Update(Edge("l", "a", "b"))
+        assert update.kind is UpdateKind.ADD
+        assert update.is_addition
+        assert not update.is_deletion
+
+    def test_add_helper(self):
+        update = add("likes", "u", "p", timestamp=3)
+        assert update.edge == Edge("likes", "u", "p")
+        assert update.is_addition
+        assert update.timestamp == 3
+
+    def test_delete_helper(self):
+        update = delete("likes", "u", "p")
+        assert update.is_deletion
+        assert update.kind is UpdateKind.DELETE
+
+    def test_with_timestamp_returns_new_update(self):
+        original = add("l", "a", "b")
+        stamped = original.with_timestamp(9)
+        assert stamped.timestamp == 9
+        assert original.timestamp == 0
+        assert stamped.edge == original.edge
+
+    def test_updates_are_immutable(self):
+        update = add("l", "a", "b")
+        with pytest.raises(AttributeError):
+            update.timestamp = 5  # type: ignore[misc]
+
+    def test_str_includes_sign(self):
+        assert str(add("l", "a", "b")).startswith("+")
+        assert str(delete("l", "a", "b")).startswith("-")
+
+
+class TestRenumber:
+    def test_renumber_assigns_consecutive_timestamps(self):
+        updates = [add("l", "a", "b"), add("l", "b", "c"), delete("l", "a", "b")]
+        renumbered = list(renumber(updates))
+        assert [u.timestamp for u in renumbered] == [0, 1, 2]
+
+    def test_renumber_with_start(self):
+        renumbered = list(renumber([add("l", "a", "b")], start=10))
+        assert renumbered[0].timestamp == 10
+
+    def test_renumber_preserves_kind_and_edge(self):
+        renumbered = list(renumber([delete("l", "x", "y")]))
+        assert renumbered[0].is_deletion
+        assert renumbered[0].edge == Edge("l", "x", "y")

@@ -1,0 +1,179 @@
+"""Tests for the embedded property-graph database substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.errors import EdgeNotFoundError, GraphError
+from repro.graphdb import (
+    GraphQuery,
+    PropertyGraphStore,
+    QueryExecutor,
+    QueryPlanner,
+    TransactionManager,
+    compile_pattern,
+)
+from repro.query import QueryGraphPattern
+
+
+@pytest.fixture
+def store() -> PropertyGraphStore:
+    store = PropertyGraphStore()
+    store.add_edge("knows", "a", "b")
+    store.add_edge("knows", "b", "c")
+    store.add_edge("checksIn", "a", "rio")
+    store.add_edge("checksIn", "b", "rio")
+    return store
+
+
+class TestStore:
+    def test_vertices_and_edges_counts(self, store):
+        assert store.num_vertices == 4
+        assert store.num_edges == 4
+
+    def test_create_vertex_merges_labels_and_properties(self):
+        store = PropertyGraphStore()
+        store.create_vertex("v", labels=["Person"], properties={"age": 3})
+        store.create_vertex("v", labels=["Admin"], properties={"name": "x"})
+        vertex = store.vertex("v")
+        assert vertex.labels == {"Person", "Admin"}
+        assert vertex.properties == {"age": 3, "name": "x"}
+        assert store.vertices_with_label("Person") == {"v"}
+
+    def test_has_edge_and_multiplicity(self, store):
+        assert store.has_edge("knows", "a", "b")
+        store.add_edge("knows", "a", "b")
+        assert store.multiplicity("knows", "a", "b") == 2
+
+    def test_remove_edge(self, store):
+        store.remove_edge("knows", "a", "b")
+        assert not store.has_edge("knows", "a", "b")
+        with pytest.raises(EdgeNotFoundError):
+            store.remove_edge("knows", "a", "b")
+
+    def test_remove_duplicate_edge_keeps_one(self, store):
+        store.add_edge("knows", "a", "b")
+        store.remove_edge("knows", "a", "b")
+        assert store.has_edge("knows", "a", "b")
+
+    def test_navigation(self, store):
+        assert store.successors("a", "knows") == {"b"}
+        assert store.predecessors("rio", "checksIn") == {"a", "b"}
+        assert store.edges_with_label("knows") == {("a", "b"), ("b", "c")}
+        assert store.label_cardinality("checksIn") == 2
+
+    def test_statistics(self, store):
+        stats = store.statistics()
+        assert stats.num_edges == 4
+        assert stats.label_cardinalities["knows"] == 2
+
+
+class TestTransactions:
+    def test_commit_applies_buffered_writes(self):
+        store = PropertyGraphStore()
+        manager = TransactionManager(store, writes_per_transaction=10)
+        manager.write_edge_addition("knows", "a", "b")
+        assert store.num_edges == 0  # still buffered
+        manager.flush()
+        assert store.num_edges == 1
+        assert manager.transactions_committed == 1
+        assert manager.writes_committed == 1
+
+    def test_autocommit_when_batch_is_full(self):
+        store = PropertyGraphStore()
+        manager = TransactionManager(store, writes_per_transaction=2)
+        manager.write_edge_addition("l", "a", "b")
+        manager.write_edge_addition("l", "b", "c")
+        assert store.num_edges == 2
+
+    def test_removal_through_transaction(self):
+        store = PropertyGraphStore()
+        store.add_edge("l", "a", "b")
+        manager = TransactionManager(store)
+        manager.write_edge_removal("l", "a", "b")
+        manager.flush()
+        assert store.num_edges == 0
+
+    def test_rollback_discards_writes(self):
+        store = PropertyGraphStore()
+        manager = TransactionManager(store)
+        tx = manager.begin()
+        tx.add_edge("l", "a", "b")
+        tx.rollback()
+        assert manager.flush() == 0
+        assert store.num_edges == 0
+
+    def test_committed_transaction_cannot_be_reused(self):
+        store = PropertyGraphStore()
+        tx = TransactionManager(store).begin()
+        tx.commit()
+        with pytest.raises(GraphError):
+            tx.add_edge("l", "a", "b")
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(GraphError):
+            TransactionManager(PropertyGraphStore(), writes_per_transaction=0)
+
+
+class TestCompileAndPlan:
+    def test_compile_pattern(self, checkin_query):
+        compiled = compile_pattern(checkin_query)
+        assert isinstance(compiled, GraphQuery)
+        assert compiled.num_constraints == 3
+        assert set(compiled.variables) == {"p1", "p2", "place"}
+        text = compiled.to_text()
+        assert text.startswith("MATCH")
+        assert "[:knows]" in text and "RETURN" in text
+
+    def test_planner_prefers_selective_constraints(self, store):
+        pattern = QueryGraphPattern(
+            "q", [("knows", "?x", "?y"), ("checksIn", "?x", "rio")]
+        )
+        plan = QueryPlanner(store).plan(compile_pattern(pattern))
+        # The constraint with the literal endpoint is the most selective and
+        # must be matched first.
+        assert plan.ordered_constraints[0].label == "checksIn"
+        assert plan.num_steps == 2
+        assert plan.estimated_cost > 0
+
+    def test_executor_plan_cache(self, store):
+        executor = QueryExecutor(store)
+        query = compile_pattern(QueryGraphPattern("q", [("knows", "?x", "?y")]))
+        executor.execute(query)
+        executor.execute(query)
+        assert executor.plans_built == 1
+        assert executor.plan_cache_hits >= 1
+
+
+class TestExecutor:
+    def test_execute_simple_pattern(self, store):
+        executor = QueryExecutor(store)
+        query = compile_pattern(QueryGraphPattern("q", [("knows", "?x", "?y")]))
+        result = executor.execute(query)
+        assert len(result) == 2
+        assert {(a["x"], a["y"]) for a in result} == {("a", "b"), ("b", "c")}
+
+    def test_execute_checkin_pattern(self, store, checkin_query):
+        executor = QueryExecutor(store)
+        result = executor.execute(compile_pattern(checkin_query))
+        assert {(a["p1"], a["p2"], a["place"]) for a in result} == {("a", "b", "rio")}
+
+    def test_execute_with_limit(self, store):
+        executor = QueryExecutor(store)
+        query = compile_pattern(QueryGraphPattern("q", [("knows", "?x", "?y")]))
+        assert len(executor.execute(query, limit=1)) == 1
+
+    def test_execute_injective(self):
+        store = PropertyGraphStore()
+        store.add_edge("knows", "a", "a")
+        executor = QueryExecutor(store)
+        query = compile_pattern(QueryGraphPattern("q", [("knows", "?x", "?y")]))
+        assert len(executor.execute(query)) == 1
+        assert len(executor.execute(query, injective=True)) == 0
+
+    def test_execution_counters(self, store):
+        executor = QueryExecutor(store)
+        query = compile_pattern(QueryGraphPattern("q", [("knows", "?x", "?y")]))
+        result = executor.execute(query)
+        assert result.constraints_checked >= 1
+        assert result.candidates_scanned >= 2

@@ -1,0 +1,80 @@
+"""Tests for the graph-database continuous-query baseline engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphDBEngine, add, delete
+from repro.query import QueryBuilder
+
+
+@pytest.fixture
+def engine() -> GraphDBEngine:
+    return GraphDBEngine()
+
+
+class TestGraphDBEngine:
+    def test_checkin_example(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        answers = [engine.on_update(update) for update in checkin_stream]
+        assert [bool(a) for a in answers] == [False, False, False, True]
+        assert engine.matches_of("checkin") == [{"p1": "P1", "p2": "P2", "place": "rio"}]
+
+    def test_store_receives_every_update(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        for update in checkin_stream:
+            engine.on_update(update)
+        assert engine.store.num_edges == len(checkin_stream)
+
+    def test_duplicate_edge_is_stored_but_produces_no_answer(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        for update in checkin_stream:
+            engine.on_update(update)
+        assert engine.on_update(add("checksIn", "P2", "rio")) == frozenset()
+        assert engine.store.multiplicity("checksIn", "P2", "rio") == 2
+
+    def test_deletion_invalidates(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        for update in checkin_stream:
+            engine.on_update(update)
+        assert engine.on_update(delete("checksIn", "P2", "rio")) == {"checkin"}
+        assert engine.satisfied_queries() == frozenset()
+
+    def test_deleting_one_copy_of_duplicate_keeps_satisfaction(self, engine):
+        engine.register(QueryBuilder("q").edge("knows", "?a", "?b").build())
+        engine.on_update(add("knows", "x", "y"))
+        engine.on_update(add("knows", "x", "y"))
+        assert engine.on_update(delete("knows", "x", "y")) == frozenset()
+        assert engine.satisfied_queries() == {"q"}
+
+    def test_deleting_unknown_edge_is_noop(self, engine, checkin_query):
+        engine.register(checkin_query)
+        assert engine.on_update(delete("knows", "x", "y")) == frozenset()
+
+    def test_only_affected_queries_are_reexecuted(self, engine):
+        engine.register(QueryBuilder("knows-q").edge("knows", "?a", "?b").build())
+        engine.register(QueryBuilder("likes-q").edge("likes", "?a", "?b").build())
+        assert engine.on_update(add("knows", "x", "y")) == {"knows-q"}
+        assert engine.on_update(add("likes", "x", "y")) == {"likes-q"}
+
+    def test_statistics(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        for update in checkin_stream:
+            engine.on_update(update)
+        stats = engine.statistics()
+        assert stats["store_edges"] == len(checkin_stream)
+        assert stats["indexed_keys"] >= 2
+        assert stats["plans_built"] >= 1
+
+    def test_injective_mode(self):
+        engine = GraphDBEngine(injective=True)
+        engine.register(QueryBuilder("q").edge("knows", "?a", "?b").build())
+        assert engine.on_update(add("knows", "x", "x")) == frozenset()
+        assert engine.on_update(add("knows", "x", "y")) == {"q"}
+
+    def test_custom_transaction_batch_size(self, checkin_query, checkin_stream):
+        engine = GraphDBEngine(writes_per_transaction=1)
+        engine.register(checkin_query)
+        for update in checkin_stream:
+            engine.on_update(update)
+        assert engine.store.num_edges == len(checkin_stream)

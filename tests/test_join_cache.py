@@ -1,0 +1,97 @@
+"""Tests for the hash-join build-structure cache used by the + engine variants."""
+
+from __future__ import annotations
+
+from repro.matching.cache import CacheStatistics, JoinCache
+from repro.matching.relation import Relation, natural_join
+
+
+class TestJoinCache:
+    def test_first_lookup_is_a_miss(self):
+        cache = JoinCache()
+        relation = Relation(("s", "t"), [("a", "b")])
+        index = cache.build_index(relation, (0,))
+        assert index == {("a",): [("a", "b")]}
+        assert cache.statistics.misses == 1
+        assert cache.statistics.hits == 0
+
+    def test_second_lookup_is_a_hit(self):
+        cache = JoinCache()
+        relation = Relation(("s", "t"), [("a", "b")])
+        cache.build_index(relation, (0,))
+        cache.build_index(relation, (0,))
+        assert cache.statistics.hits == 1
+
+    def test_appended_rows_patch_the_index(self):
+        cache = JoinCache()
+        relation = Relation(("s", "t"), [("a", "b")])
+        cache.build_index(relation, (0,))
+        relation.add(("a", "c"))
+        relation.add(("x", "y"))
+        index = cache.build_index(relation, (0,))
+        assert sorted(index[("a",)]) == [("a", "b"), ("a", "c")]
+        assert index[("x",)] == [("x", "y")]
+        assert cache.statistics.incremental_patches == 1
+        assert cache.statistics.rebuilds == 0
+
+    def test_removal_forces_rebuild(self):
+        cache = JoinCache()
+        relation = Relation(("s", "t"), [("a", "b"), ("a", "c")])
+        cache.build_index(relation, (0,))
+        relation.discard(("a", "b"))
+        index = cache.build_index(relation, (0,))
+        assert index[("a",)] == [("a", "c")]
+        assert cache.statistics.rebuilds == 1
+
+    def test_different_key_columns_use_different_entries(self):
+        cache = JoinCache()
+        relation = Relation(("s", "t"), [("a", "b")])
+        by_source = cache.build_index(relation, (0,))
+        by_target = cache.build_index(relation, (1,))
+        assert ("a",) in by_source
+        assert ("b",) in by_target
+        assert len(cache) == 2
+
+    def test_invalidate_drops_entries_of_a_relation(self):
+        cache = JoinCache()
+        relation = Relation(("s", "t"), [("a", "b")])
+        other = Relation(("s", "t"), [("c", "d")])
+        cache.build_index(relation, (0,))
+        cache.build_index(other, (0,))
+        cache.invalidate(relation)
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = JoinCache()
+        cache.build_index(Relation(("s", "t"), [("a", "b")]), (0,))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_eviction_respects_max_entries(self):
+        cache = JoinCache(max_entries=2)
+        for _ in range(4):
+            cache.build_index(Relation(("s", "t"), [("a", "b")]), (0,))
+        assert len(cache) <= 2
+
+    def test_cached_join_produces_the_same_result(self):
+        cache = JoinCache()
+        left = Relation(("a", "b"), [("1", "x"), ("2", "y")])
+        right = Relation(("b", "c"), [("x", "p"), ("y", "q")])
+        plain = natural_join(left, right)
+        cached_once = natural_join(left, right, cache=cache)
+        right.add(("x", "r"))
+        plain_after = natural_join(left, right)
+        cached_after = natural_join(left, right, cache=cache)
+        assert cached_once.rows == plain.rows
+        assert cached_after.rows == plain_after.rows
+
+
+class TestCacheStatistics:
+    def test_counters_and_dict(self):
+        stats = CacheStatistics()
+        stats.hits += 2
+        stats.misses += 1
+        assert stats.lookups == 3
+        as_dict = stats.as_dict()
+        assert as_dict["hits"] == 2
+        assert as_dict["misses"] == 1

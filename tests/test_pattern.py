@@ -1,0 +1,118 @@
+"""Unit tests for query graph patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.errors import QueryError
+from repro.query import QueryGraphPattern
+from repro.query.terms import Literal, Variable
+
+
+@pytest.fixture
+def q4() -> QueryGraphPattern:
+    """Q4 of the paper's Fig. 4(a): a three-edge chain with two literals."""
+    return QueryGraphPattern(
+        "Q4",
+        [
+            ("hasMod", "?f1", "?p1"),
+            ("posted", "?p1", "pst1"),
+            ("containedIn", "pst1", "?f2"),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraphPattern("bad", [])
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraphPattern("bad", [("", "?a", "?b")])
+
+    def test_from_triples(self):
+        pattern = QueryGraphPattern.from_triples("Q", [("knows", "?a", "?b")])
+        assert pattern.num_edges == 1
+
+    def test_edges_keep_declaration_order_and_indices(self, q4):
+        labels = [edge.label for edge in q4.edges]
+        assert labels == ["hasMod", "posted", "containedIn"]
+        assert [edge.index for edge in q4.edges] == [0, 1, 2]
+
+    def test_name_defaults_to_id(self, q4):
+        assert q4.name == "Q4"
+
+
+class TestAccessors:
+    def test_vertices_and_counts(self, q4):
+        assert q4.num_edges == 3
+        assert q4.num_vertices == 4
+        assert Variable("p1") in q4.vertices
+        assert Literal("pst1") in q4.vertices
+
+    def test_variables_and_literals(self, q4):
+        assert {v.name for v in q4.variables()} == {"f1", "p1", "f2"}
+        assert {l.value for l in q4.literals()} == {"pst1"}
+
+    def test_edge_keys_and_labels(self, q4):
+        assert len(q4.edge_keys()) == 3
+        assert len(q4.distinct_edge_keys()) == 3
+        assert q4.edge_labels() == {"hasMod", "posted", "containedIn"}
+
+    def test_in_out_edges_and_degree(self, q4):
+        p1 = Variable("p1")
+        assert len(q4.out_edges(p1)) == 1
+        assert len(q4.in_edges(p1)) == 1
+        assert q4.degree(p1) == 2
+
+    def test_adjacency_covers_all_vertices(self, q4):
+        adjacency = q4.adjacency()
+        assert set(adjacency) == set(q4.vertices)
+
+    def test_iteration_and_len(self, q4):
+        assert len(q4) == 3
+        assert len(list(q4)) == 3
+
+    def test_equality_and_hash(self, q4):
+        clone = QueryGraphPattern(
+            "Q4",
+            [
+                ("hasMod", "?f1", "?p1"),
+                ("posted", "?p1", "pst1"),
+                ("containedIn", "pst1", "?f2"),
+            ],
+        )
+        assert clone == q4
+        assert hash(clone) == hash(q4)
+        assert q4 != "not a pattern"
+
+
+class TestClassification:
+    def test_chain_detection(self, q4):
+        assert q4.is_chain()
+        assert not q4.is_star()
+        assert not q4.is_cycle()
+
+    def test_star_detection(self):
+        star = QueryGraphPattern(
+            "star",
+            [("a", "?hub", "?x"), ("b", "?hub", "?y"), ("c", "?z", "?hub")],
+        )
+        assert star.is_star()
+        assert not star.is_chain()
+
+    def test_cycle_detection(self):
+        cycle = QueryGraphPattern(
+            "cycle",
+            [("knows", "?a", "?b"), ("knows", "?b", "?c"), ("knows", "?c", "?a")],
+        )
+        assert cycle.is_cycle()
+        assert not cycle.is_chain()
+        assert not cycle.is_star()
+
+    def test_single_edge_is_a_chain(self):
+        single = QueryGraphPattern("single", [("knows", "?a", "?b")])
+        assert single.is_chain()
+        assert not single.is_star()
+        assert not single.is_cycle()

@@ -1,0 +1,133 @@
+"""Tests for per-query evaluation plans (path bindings and answer assembly)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching.plans import PathPlan, QueryEvaluationPlan, bindings_to_dicts
+from repro.matching.relation import Relation
+from repro.query import QueryGraphPattern, covering_paths
+
+
+@pytest.fixture
+def chain_plan() -> QueryEvaluationPlan:
+    pattern = QueryGraphPattern(
+        "chain", [("hasMod", "?f", "?p"), ("posted", "?p", "pst1")]
+    )
+    return QueryEvaluationPlan(pattern)
+
+
+@pytest.fixture
+def cycle_plan() -> QueryEvaluationPlan:
+    pattern = QueryGraphPattern(
+        "cycle", [("knows", "?a", "?b"), ("knows", "?b", "?a")]
+    )
+    return QueryEvaluationPlan(pattern)
+
+
+class TestPathPlan:
+    def test_positional_schema_and_variables(self, chain_plan):
+        path_plan = chain_plan.path_plans[0]
+        assert path_plan.schema == ("p0", "p1", "p2")
+        assert path_plan.variable_names == ("f", "p")
+        assert path_plan.equality_positions == ()
+
+    def test_repeated_variable_creates_equality_constraint(self, cycle_plan):
+        path_plan = cycle_plan.path_plans[0]
+        assert path_plan.equality_positions == ((0, 2),)
+
+    def test_bindings_from_rows_drops_literal_columns(self, chain_plan):
+        path_plan = chain_plan.path_plans[0]
+        bindings = path_plan.bindings_from_rows({("f1", "p1", "pst1")})
+        assert bindings.schema == ("f", "p")
+        assert bindings.rows == {("f1", "p1")}
+
+    def test_bindings_filter_equality_constraints(self, cycle_plan):
+        path_plan = cycle_plan.path_plans[0]
+        bindings = path_plan.bindings_from_rows({("a", "b", "a"), ("a", "b", "c")})
+        assert bindings.rows == {("a", "b")}
+
+    def test_positions_of_key(self, cycle_plan):
+        path_plan = cycle_plan.path_plans[0]
+        key = path_plan.key_sequence[0]
+        assert path_plan.positions_of_key(key) == [0, 1]
+
+
+class TestQueryEvaluationPlan:
+    def test_uses_covering_paths_by_default(self, paper_fig4_queries):
+        q1 = paper_fig4_queries[0]
+        plan = QueryEvaluationPlan(q1)
+        assert plan.num_paths == len(covering_paths(q1))
+
+    def test_variable_names_cover_the_whole_query(self, paper_fig4_queries):
+        q1 = paper_fig4_queries[0]
+        plan = QueryEvaluationPlan(q1)
+        assert set(plan.variable_names) == {v.name for v in q1.variables()}
+
+    def test_key_occurrences_and_paths_containing(self, chain_plan):
+        for key in chain_plan.distinct_keys():
+            assert chain_plan.paths_containing(key) == [0]
+
+    def test_evaluate_full_single_path(self, chain_plan):
+        rows = {("f1", "p1", "pst1"), ("f2", "p1", "pst1")}
+        bindings = chain_plan.evaluate_full([rows])
+        assert bindings.rows == {("f1", "p1"), ("f2", "p1")}
+        assert bindings_to_dicts(bindings) == [
+            {"f": "f1", "p": "p1"},
+            {"f": "f2", "p": "p1"},
+        ]
+
+    def test_evaluate_full_joins_multiple_paths(self, paper_fig4_queries):
+        q1 = paper_fig4_queries[0]
+        plan = QueryEvaluationPlan(q1)
+        # Build per-path rows consistent with a single embedding.
+        rows_per_path = []
+        assignment = {"f1": "F", "p1": "P", "com1": "C"}
+        for path_plan in plan.path_plans:
+            row = []
+            for term in path_plan.terms:
+                if hasattr(term, "name"):
+                    row.append(assignment[term.name])
+                else:
+                    row.append(term.value)
+            rows_per_path.append({tuple(row)})
+        bindings = plan.evaluate_full(rows_per_path)
+        assert len(bindings) == 1
+        only = bindings_to_dicts(bindings)[0]
+        assert only == {"f1": "F", "p1": "P", "com1": "C"}
+
+    def test_evaluate_full_empty_path_means_no_answers(self, paper_fig4_queries):
+        q1 = paper_fig4_queries[0]
+        plan = QueryEvaluationPlan(q1)
+        rows_per_path = [set() for _ in plan.path_plans]
+        assert len(plan.evaluate_full(rows_per_path)) == 0
+
+    def test_evaluate_delta_returns_only_new_answers(self, chain_plan):
+        full = {("f1", "p1", "pst1"), ("f2", "p2", "pst1")}
+        delta = {("f2", "p2", "pst1")}
+        bindings = chain_plan.evaluate_delta({0: delta}, [full])
+        assert bindings.rows == {("f2", "p2")}
+
+    def test_evaluate_delta_with_empty_delta_is_empty(self, chain_plan):
+        assert len(chain_plan.evaluate_delta({0: set()}, [set()])) == 0
+
+    def test_injective_filter(self):
+        pattern = QueryGraphPattern("q", [("knows", "?a", "?b")])
+        plan = QueryEvaluationPlan(pattern)
+        rows = {("x", "x"), ("x", "y")}
+        homomorphic = plan.evaluate_full([rows])
+        injective = plan.evaluate_full([rows], injective=True)
+        assert homomorphic.rows == {("x", "x"), ("x", "y")}
+        assert injective.rows == {("x", "y")}
+
+    def test_injective_filter_excludes_literal_collisions(self):
+        pattern = QueryGraphPattern("q", [("posted", "?a", "pst1")])
+        plan = QueryEvaluationPlan(pattern)
+        rows = {("pst1", "pst1"), ("u1", "pst1")}
+        injective = plan.evaluate_full([rows], injective=True)
+        assert injective.rows == {("u1",)}
+
+    def test_bindings_to_dicts_sorted_and_stable(self):
+        relation = Relation(("b", "a"), [("2", "1"), ("0", "9")])
+        dicts = bindings_to_dicts(relation)
+        assert dicts == [{"b": "0", "a": "9"}, {"b": "2", "a": "1"}]

@@ -1,0 +1,81 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_everything_in_all_is_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} is declared in __all__ but missing"
+
+    def test_key_entry_points_are_exposed(self):
+        for name in (
+            "QueryBuilder",
+            "TRICEngine",
+            "TRICPlusEngine",
+            "INVEngine",
+            "INCEngine",
+            "GraphDBEngine",
+            "NaiveEngine",
+            "GraphStream",
+            "add",
+            "delete",
+            "create_engine",
+        ):
+            assert name in repro.__all__
+
+    def test_module_docstring_quickstart_is_executable(self):
+        """The doctest-style quickstart in the package docstring must work."""
+        engine = repro.TRICEngine()
+        engine.register(
+            repro.QueryBuilder("checkin")
+            .edge("knows", "?a", "?b")
+            .edge("checksIn", "?a", "?place")
+            .edge("checksIn", "?b", "?place")
+            .build()
+        )
+        assert engine.on_update(repro.add("knows", "alice", "bob")) == frozenset()
+        assert engine.on_update(repro.add("checksIn", "alice", "rio")) == frozenset()
+        assert sorted(engine.on_update(repro.add("checksIn", "bob", "rio"))) == ["checkin"]
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.graph",
+            "repro.query",
+            "repro.matching",
+            "repro.core",
+            "repro.baselines",
+            "repro.graphdb",
+            "repro.datasets",
+            "repro.streams",
+            "repro.bench",
+            "repro.engines",
+        ],
+    )
+    def test_subpackages_import_cleanly(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    def test_exceptions_share_a_base_class(self):
+        from repro import ReproError
+        from repro.graph.errors import (
+            BenchmarkError,
+            DatasetError,
+            EngineError,
+            GraphError,
+            QueryError,
+            StreamError,
+        )
+
+        for exc in (GraphError, QueryError, EngineError, StreamError, DatasetError, BenchmarkError):
+            assert issubclass(exc, ReproError)

@@ -1,0 +1,171 @@
+"""Tests for relations, natural joins, and path-row extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.relation import Relation, extend_path_rows, natural_join
+
+
+class TestRelationBasics:
+    def test_empty_relation(self):
+        relation = Relation(("a", "b"))
+        assert len(relation) == 0
+        assert not relation
+        assert relation.arity == 2
+
+    def test_add_and_contains(self):
+        relation = Relation(("a", "b"))
+        assert relation.add(("x", "y"))
+        assert ("x", "y") in relation
+        assert len(relation) == 1
+
+    def test_add_duplicate_returns_false(self):
+        relation = Relation(("a",), [("x",)])
+        assert not relation.add(("x",))
+        assert len(relation) == 1
+
+    def test_add_wrong_arity_raises(self):
+        relation = Relation(("a", "b"))
+        with pytest.raises(ValueError):
+            relation.add(("only-one",))
+
+    def test_add_all_returns_new_rows_only(self):
+        relation = Relation(("a",), [("x",)])
+        added = relation.add_all([("x",), ("y",), ("z",), ("y",)])
+        assert added == [("y",), ("z",)]
+
+    def test_discard(self):
+        relation = Relation(("a",), [("x",)])
+        assert relation.discard(("x",))
+        assert not relation.discard(("x",))
+
+    def test_versions_track_mutations(self):
+        relation = Relation(("a",))
+        v0 = relation.version
+        relation.add(("x",))
+        assert relation.version > v0
+        relation.discard(("x",))
+        assert relation.last_removal_version == relation.version
+
+    def test_append_log(self):
+        relation = Relation(("a",))
+        relation.add(("x",))
+        mark = relation.log_length
+        relation.add(("y",))
+        assert list(relation.appended_since(mark)) == [("y",)]
+
+    def test_clear_and_replace(self):
+        relation = Relation(("a",), [("x",), ("y",)])
+        relation.replace_rows([("z",)])
+        assert relation.rows == {("z",)}
+        relation.clear()
+        assert len(relation) == 0
+
+    def test_copy_is_independent(self):
+        relation = Relation(("a",), [("x",)])
+        clone = relation.copy()
+        clone.add(("y",))
+        assert len(relation) == 1
+
+
+class TestRelationalOperators:
+    def test_project(self):
+        relation = Relation(("a", "b"), [("1", "2"), ("1", "3")])
+        projected = relation.project(("a",))
+        assert projected.schema == ("a",)
+        assert projected.rows == {("1",)}
+
+    def test_rename(self):
+        relation = Relation(("a", "b"), [("1", "2")])
+        renamed = relation.rename({"a": "x"})
+        assert renamed.schema == ("x", "b")
+        assert renamed.rows == relation.rows
+
+    def test_select_equal(self):
+        relation = Relation(("a", "b"), [("1", "2"), ("3", "2"), ("1", "4")])
+        assert relation.select_equal("a", "1").rows == {("1", "2"), ("1", "4")}
+
+    def test_select_positions_equal(self):
+        relation = Relation(("a", "b", "c"), [("x", "y", "x"), ("x", "y", "z")])
+        filtered = relation.select_positions_equal([(0, 2)])
+        assert filtered.rows == {("x", "y", "x")}
+
+    def test_distinct_values(self):
+        relation = Relation(("a", "b"), [("1", "2"), ("3", "2")])
+        assert relation.distinct_values("b") == {"2"}
+
+
+class TestNaturalJoin:
+    def test_join_on_shared_column(self):
+        left = Relation(("a", "b"), [("1", "x"), ("2", "y")])
+        right = Relation(("b", "c"), [("x", "end"), ("z", "other")])
+        joined = natural_join(left, right)
+        assert joined.schema == ("a", "b", "c")
+        assert joined.rows == {("1", "x", "end")}
+
+    def test_join_without_shared_columns_is_cartesian(self):
+        left = Relation(("a",), [("1",), ("2",)])
+        right = Relation(("b",), [("x",)])
+        joined = natural_join(left, right)
+        assert joined.rows == {("1", "x"), ("2", "x")}
+
+    def test_join_with_empty_side_is_empty(self):
+        left = Relation(("a", "b"), [("1", "x")])
+        right = Relation(("b", "c"))
+        assert len(natural_join(left, right)) == 0
+
+    def test_join_on_multiple_shared_columns(self):
+        left = Relation(("a", "b"), [("1", "x"), ("1", "y")])
+        right = Relation(("a", "b", "c"), [("1", "x", "q"), ("1", "z", "r")])
+        joined = natural_join(left, right)
+        assert joined.rows == {("1", "x", "q")}
+
+    @given(
+        st.sets(st.tuples(st.sampled_from("abc"), st.sampled_from("xyz")), max_size=12),
+        st.sets(st.tuples(st.sampled_from("xyz"), st.sampled_from("pq")), max_size=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_join_matches_nested_loop_reference(self, left_rows, right_rows):
+        left = Relation(("a", "b"), left_rows)
+        right = Relation(("b", "c"), right_rows)
+        expected = {
+            (la, lb, rc) for la, lb in left_rows for rb, rc in right_rows if lb == rb
+        }
+        assert natural_join(left, right).rows == expected
+
+    @given(
+        st.sets(st.tuples(st.sampled_from("abc"), st.sampled_from("xyz")), max_size=10),
+        st.sets(st.tuples(st.sampled_from("xyz"), st.sampled_from("pq")), max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_join_is_symmetric_in_content(self, left_rows, right_rows):
+        left = Relation(("a", "b"), left_rows)
+        right = Relation(("b", "c"), right_rows)
+        forward = natural_join(left, right)
+        backward = natural_join(right, left)
+        # Same tuples, possibly different column order.
+        realigned = {tuple(row[backward.schema.index(c)] for c in forward.schema) for row in backward.rows}
+        assert realigned == forward.rows
+
+
+class TestExtendPathRows:
+    def test_forward_extension(self):
+        base = Relation(("s", "t"), [("b", "c"), ("b", "d"), ("x", "y")])
+        extended = extend_path_rows([("a", "b")], base)
+        assert set(extended) == {("a", "b", "c"), ("a", "b", "d")}
+
+    def test_backward_extension(self):
+        base = Relation(("s", "t"), [("a", "b"), ("z", "b"), ("q", "r")])
+        extended = extend_path_rows([("b", "c")], base, direction="backward")
+        assert set(extended) == {("a", "b", "c"), ("z", "b", "c")}
+
+    def test_unknown_direction_raises(self):
+        with pytest.raises(ValueError):
+            extend_path_rows([("a", "b")], Relation(("s", "t")), direction="sideways")
+
+    def test_no_match_yields_empty(self):
+        base = Relation(("s", "t"), [("x", "y")])
+        assert extend_path_rows([("a", "b")], base) == []

@@ -1,0 +1,143 @@
+"""Tests for the replay harness, metrics, and reporting helpers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import TRICEngine, TRICPlusEngine, add
+from repro.graph import GraphStream
+from repro.streams import (
+    NotificationLog,
+    ReplayResult,
+    StreamRunner,
+    Timer,
+    TimingStats,
+    deep_sizeof,
+    format_replay_results,
+    format_table,
+)
+
+
+class TestTimer:
+    def test_timer_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+        assert timer.elapsed_ms >= 5.0
+
+
+class TestTimingStats:
+    def test_empty_stats(self):
+        stats = TimingStats()
+        assert stats.count == 0
+        assert stats.mean_ms == 0.0
+        assert stats.median_ms == 0.0
+        assert stats.p95_ms == 0.0
+        assert stats.max_ms == 0.0
+
+    def test_summary_values(self):
+        stats = TimingStats()
+        stats.extend([0.001, 0.002, 0.003])
+        assert stats.count == 3
+        assert stats.total_seconds == pytest.approx(0.006)
+        assert stats.mean_ms == pytest.approx(2.0)
+        assert stats.median_ms == pytest.approx(2.0)
+        assert stats.max_ms == pytest.approx(3.0)
+        summary = stats.summary()
+        assert summary["count"] == 3.0
+
+    def test_p95(self):
+        stats = TimingStats()
+        stats.extend([0.001] * 99 + [0.1])
+        assert stats.p95_ms < 100.0
+        assert stats.p95_ms >= 1.0
+
+
+class TestDeepSizeof:
+    def test_containers_count_their_contents(self):
+        small = deep_sizeof([1, 2, 3])
+        large = deep_sizeof(list(range(1000)))
+        assert large > small
+
+    def test_shared_objects_counted_once(self):
+        shared = ["payload"] * 1
+        assert deep_sizeof([shared, shared]) < 2 * deep_sizeof([shared, list(shared)])
+
+    def test_engine_footprint_grows_with_state(self, checkin_query, checkin_stream):
+        engine = TRICEngine()
+        engine.register(checkin_query)
+        before = deep_sizeof(engine)
+        for update in checkin_stream:
+            engine.on_update(update)
+        assert deep_sizeof(engine) > before
+
+
+class TestStreamRunner:
+    def test_index_queries_measures_time(self, checkin_query):
+        runner = StreamRunner(TRICEngine())
+        elapsed = runner.index_queries([checkin_query])
+        assert elapsed >= 0.0
+        assert runner.indexing_time_s >= elapsed
+
+    def test_replay_collects_metrics_and_matches(self, checkin_query, checkin_stream):
+        runner = StreamRunner(TRICPlusEngine())
+        runner.index_queries([checkin_query])
+        result = runner.replay(checkin_stream, measure_memory=True)
+        assert isinstance(result, ReplayResult)
+        assert result.completed
+        assert result.updates_processed == len(checkin_stream)
+        assert result.matched_updates == 1
+        assert result.matches_emitted == 1
+        assert result.answering.count == len(checkin_stream)
+        assert result.memory_bytes is not None and result.memory_bytes > 0
+        assert result.as_dict()["engine"] == "TRIC+"
+
+    def test_listeners_receive_notifications(self, checkin_query, checkin_stream):
+        log = NotificationLog()
+        runner = StreamRunner(TRICEngine(), listeners=[log])
+        runner.index_queries([checkin_query])
+        runner.replay(checkin_stream)
+        assert len(log) == 1
+        assert log.queries_notified() == ["checkin"]
+        assert log.notifications[0]["queries"] == ["checkin"]
+
+    def test_add_listener(self, checkin_query, checkin_stream):
+        runner = StreamRunner(TRICEngine())
+        log = NotificationLog()
+        runner.add_listener(log)
+        runner.index_queries([checkin_query])
+        runner.replay(checkin_stream)
+        assert len(log) == 1
+
+    def test_time_budget_stops_the_replay(self, checkin_query):
+        runner = StreamRunner(TRICEngine(), time_budget_s=0.0)
+        runner.index_queries([checkin_query])
+        stream = GraphStream([add("knows", f"a{i}", f"b{i}") for i in range(50)])
+        result = runner.replay(stream)
+        assert result.timed_out
+        assert not result.completed
+        assert result.updates_processed < len(stream)
+
+    def test_replay_accepts_plain_sequences(self, checkin_query):
+        runner = StreamRunner(TRICEngine())
+        runner.index_queries([checkin_query])
+        result = runner.replay([add("knows", "a", "b")])
+        assert result.updates_processed == 1
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(("name", "value"), [("tric", 1), ("inverted", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+
+    def test_format_replay_results(self, checkin_query, checkin_stream):
+        runner = StreamRunner(TRICEngine())
+        runner.index_queries([checkin_query])
+        result = runner.replay(checkin_stream, measure_memory=True)
+        text = format_replay_results([result])
+        assert "TRIC" in text
+        assert "answering ms/update" in text

@@ -1,0 +1,99 @@
+"""Unit tests for query terms and generalised edge keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Edge
+from repro.query.terms import (
+    ANY,
+    EdgeKey,
+    Literal,
+    Variable,
+    candidate_keys_for_edge,
+    edge_key_for_query_edge,
+    generalize_term,
+    is_variable,
+    term,
+)
+
+
+class TestTermParsing:
+    def test_question_mark_string_becomes_variable(self):
+        assert term("?friend") == Variable("friend")
+
+    def test_plain_string_becomes_literal(self):
+        assert term("alice") == Literal("alice")
+
+    def test_existing_terms_pass_through(self):
+        variable = Variable("x")
+        literal = Literal("y")
+        assert term(variable) is variable
+        assert term(literal) is literal
+
+    def test_empty_variable_name_rejected(self):
+        with pytest.raises(ValueError):
+            term("?")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            term(42)  # type: ignore[arg-type]
+
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Literal("x"))
+
+    def test_str_forms(self):
+        assert str(Variable("x")) == "?x"
+        assert str(Literal("v")) == "v"
+
+
+class TestGeneralisation:
+    def test_variable_generalises_to_any(self):
+        assert generalize_term(Variable("x")) == ANY
+
+    def test_literal_keeps_its_value(self):
+        assert generalize_term(Literal("pst1")) == "pst1"
+
+    def test_edge_key_for_query_edge(self):
+        key = edge_key_for_query_edge("posted", Variable("p"), Literal("pst1"))
+        assert key == EdgeKey("posted", ANY, "pst1")
+        assert key.source_is_variable
+        assert not key.target_is_variable
+
+    def test_two_differently_named_variables_share_a_key(self):
+        key_a = edge_key_for_query_edge("knows", Variable("a"), Variable("b"))
+        key_b = edge_key_for_query_edge("knows", Variable("x"), Variable("y"))
+        assert key_a == key_b
+
+
+class TestEdgeKeyMatching:
+    def test_fully_literal_key(self):
+        key = EdgeKey("knows", "a", "b")
+        assert key.matches(Edge("knows", "a", "b"))
+        assert not key.matches(Edge("knows", "a", "c"))
+        assert not key.matches(Edge("likes", "a", "b"))
+
+    def test_variable_positions_match_anything(self):
+        key = EdgeKey("knows", ANY, ANY)
+        assert key.matches(Edge("knows", "whoever", "whomever"))
+
+    def test_mixed_key(self):
+        key = EdgeKey("posted", ANY, "pst1")
+        assert key.matches(Edge("posted", "p9", "pst1"))
+        assert not key.matches(Edge("posted", "p9", "pst2"))
+
+
+class TestCandidateKeys:
+    def test_four_candidates(self):
+        edge = Edge("posted", "p1", "pst1")
+        candidates = candidate_keys_for_edge(edge)
+        assert len(candidates) == 4
+        assert EdgeKey("posted", "p1", "pst1") in candidates
+        assert EdgeKey("posted", "p1", ANY) in candidates
+        assert EdgeKey("posted", ANY, "pst1") in candidates
+        assert EdgeKey("posted", ANY, ANY) in candidates
+
+    def test_every_candidate_matches_the_edge(self):
+        edge = Edge("l", "s", "t")
+        assert all(key.matches(edge) for key in candidate_keys_for_edge(edge))

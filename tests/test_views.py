@@ -1,0 +1,93 @@
+"""Tests for the materialized base-view registry."""
+
+from __future__ import annotations
+
+from repro.graph import Edge
+from repro.matching.views import EdgeViewRegistry
+from repro.query.terms import ANY, EdgeKey
+
+
+class TestRegistration:
+    def test_register_creates_empty_view(self):
+        registry = EdgeViewRegistry()
+        view = registry.register(EdgeKey("knows", ANY, ANY))
+        assert len(view) == 0
+        assert len(registry) == 1
+
+    def test_register_is_idempotent(self):
+        registry = EdgeViewRegistry()
+        key = EdgeKey("knows", ANY, ANY)
+        first = registry.register(key)
+        second = registry.register(key)
+        assert first is second
+        assert len(registry) == 1
+
+    def test_register_all_and_keys(self):
+        registry = EdgeViewRegistry()
+        keys = [EdgeKey("a", ANY, ANY), EdgeKey("b", "x", ANY)]
+        registry.register_all(keys)
+        assert set(registry.keys()) == set(keys)
+        assert registry.has_label("a")
+        assert not registry.has_label("c")
+
+    def test_get_and_contains(self):
+        registry = EdgeViewRegistry()
+        key = EdgeKey("a", ANY, ANY)
+        assert registry.get(key) is None
+        registry.register(key)
+        assert key in registry
+        assert registry.get(key) is not None
+
+
+class TestStreamMaintenance:
+    def test_matching_keys_only_returns_registered_generalisations(self):
+        registry = EdgeViewRegistry()
+        registry.register(EdgeKey("posted", ANY, "pst1"))
+        registry.register(EdgeKey("posted", ANY, ANY))
+        keys = registry.matching_keys(Edge("posted", "p1", "pst1"))
+        assert set(keys) == {EdgeKey("posted", ANY, "pst1"), EdgeKey("posted", ANY, ANY)}
+        assert registry.matching_keys(Edge("likes", "p1", "pst1")) == []
+
+    def test_apply_addition_populates_all_matching_views(self):
+        registry = EdgeViewRegistry()
+        registry.register(EdgeKey("posted", ANY, "pst1"))
+        registry.register(EdgeKey("posted", ANY, ANY))
+        changed = registry.apply_addition(Edge("posted", "p1", "pst1"))
+        assert {key for key, _ in changed} == {
+            EdgeKey("posted", ANY, "pst1"),
+            EdgeKey("posted", ANY, ANY),
+        }
+        assert all(is_new for _, is_new in changed)
+        assert registry.total_rows() == 2
+
+    def test_duplicate_addition_reports_not_new(self):
+        registry = EdgeViewRegistry()
+        registry.register(EdgeKey("posted", ANY, ANY))
+        registry.apply_addition(Edge("posted", "p1", "pst1"))
+        changed = registry.apply_addition(Edge("posted", "p1", "pst1"))
+        assert changed == [(EdgeKey("posted", ANY, ANY), False)]
+        assert registry.multiplicity(Edge("posted", "p1", "pst1")) == 2
+
+    def test_non_matching_addition_is_ignored(self):
+        registry = EdgeViewRegistry()
+        registry.register(EdgeKey("posted", ANY, ANY))
+        assert registry.apply_addition(Edge("likes", "p1", "pst1")) == []
+        assert registry.total_rows() == 0
+
+    def test_deletion_removes_tuple_only_when_last_copy_goes(self):
+        registry = EdgeViewRegistry()
+        key = EdgeKey("posted", ANY, ANY)
+        registry.register(key)
+        edge = Edge("posted", "p1", "pst1")
+        registry.apply_addition(edge)
+        registry.apply_addition(edge)
+        assert registry.apply_deletion(edge) == []           # one copy remains
+        assert len(registry.view(key)) == 1
+        assert registry.apply_deletion(edge) == [key]        # last copy removed
+        assert len(registry.view(key)) == 0
+
+    def test_deletion_of_unknown_edge_is_a_noop(self):
+        registry = EdgeViewRegistry()
+        registry.register(EdgeKey("posted", ANY, ANY))
+        assert registry.apply_deletion(Edge("posted", "p1", "pst1")) == []
+        assert registry.apply_deletion(Edge("likes", "p1", "pst1")) == []
