@@ -17,7 +17,7 @@ increasingly slow as the graph grows, far behind TRIC/TRIC+ throughout.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
 from ..core.engine import ContinuousEngine
 from ..graph.elements import Edge
@@ -68,34 +68,58 @@ class GraphDBEngine(ContinuousEngine):
             self._edge_index.setdefault(key, set()).add(pattern.query_id)
 
     # ------------------------------------------------------------------
-    # Answering phase
+    # Answering phase (per-update processing is a batch of one)
     # ------------------------------------------------------------------
     def _on_addition(self, edge: Edge) -> FrozenSet[str]:
-        was_present = self._store.has_edge(edge.label, edge.source, edge.target)
-        self._transactions.write_edge_addition(edge.label, edge.source, edge.target)
-        self._transactions.flush()
-        if was_present:
-            # The duplicate occurrence creates no new answers.
+        return self._on_addition_batch([edge])
+
+    def _on_deletion(self, edge: Edge) -> FrozenSet[str]:
+        return self._on_deletion_batch([edge])
+
+    # ------------------------------------------------------------------
+    # Micro-batch processing
+    # ------------------------------------------------------------------
+    def _on_addition_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
+        """Write the whole batch to the store, then re-execute each affected
+        query once per batch instead of once per update."""
+        fresh: List[Edge] = []
+        for edge in edges:
+            was_present = self._store.has_edge(edge.label, edge.source, edge.target)
+            self._transactions.write_edge_addition(edge.label, edge.source, edge.target)
+            self._transactions.flush()
+            if not was_present:
+                fresh.append(edge)
+        if not fresh:
+            # Only duplicate occurrences: no new answers can exist.
             return frozenset()
-        affected = self._affected_queries(edge)
+        affected: Set[str] = set()
+        for edge in fresh:
+            affected.update(self._affected_queries(edge))
         matched: Set[str] = set()
         for query_id in sorted(affected):
             assignments = self._executor.execute(
                 self._compiled[query_id], injective=self.injective
             ).assignments
-            if self._any_assignment_uses_edge(query_id, assignments, edge):
+            if self._any_assignment_uses_an_edge(query_id, assignments, fresh):
                 matched.add(query_id)
         return frozenset(matched)
 
-    def _on_deletion(self, edge: Edge) -> FrozenSet[str]:
-        if not self._store.has_edge(edge.label, edge.source, edge.target):
+    def _on_deletion_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
+        """Apply the whole batch of removals, then re-check each affected
+        satisfied query once per batch."""
+        gone: List[Edge] = []
+        for edge in edges:
+            if not self._store.has_edge(edge.label, edge.source, edge.target):
+                continue
+            self._transactions.write_edge_removal(edge.label, edge.source, edge.target)
+            self._transactions.flush()
+            if not self._store.has_edge(edge.label, edge.source, edge.target):
+                gone.append(edge)
+        if not gone:
             return frozenset()
-        self._transactions.write_edge_removal(edge.label, edge.source, edge.target)
-        self._transactions.flush()
-        if self._store.has_edge(edge.label, edge.source, edge.target):
-            # Another occurrence remains; no answer can disappear.
-            return frozenset()
-        affected = self._affected_queries(edge)
+        affected: Set[str] = set()
+        for edge in gone:
+            affected.update(self._affected_queries(edge))
         invalidated: Set[str] = set()
         for query_id in affected:
             if query_id not in self._satisfied:
@@ -113,19 +137,29 @@ class GraphDBEngine(ContinuousEngine):
             affected.update(self._edge_index.get(key, ()))
         return affected
 
-    def _any_assignment_uses_edge(
-        self, query_id: str, assignments: List[Assignment], edge: Edge
+    def _any_assignment_uses_an_edge(
+        self, query_id: str, assignments: List[Assignment], edges: Sequence[Edge]
     ) -> bool:
-        """``True`` when some answer maps a query edge onto ``edge``."""
+        """``True`` when some answer maps a query edge onto one of ``edges``.
+
+        One pass over the assignments: each query edge is paired up front
+        with the set of ``(source, target)`` rows of the batch edges it can
+        match, so the cost is |assignments| x |pattern edges| regardless of
+        the batch size.
+        """
         pattern = self._patterns_by_id[query_id]
-        matching_edges = [qe for qe in pattern.edges if qe.key.matches(edge)]
-        if not matching_edges:
+        rows_by_query_edge = []
+        for query_edge in pattern.edges:
+            rows = {(e.source, e.target) for e in edges if query_edge.key.matches(e)}
+            if rows:
+                rows_by_query_edge.append((query_edge, rows))
+        if not rows_by_query_edge:
             return False
         for assignment in assignments:
-            for query_edge in matching_edges:
+            for query_edge, rows in rows_by_query_edge:
                 source = self._resolve(query_edge.source, assignment)
                 target = self._resolve(query_edge.target, assignment)
-                if source == edge.source and target == edge.target:
+                if (source, target) in rows:
                     return True
         return False
 

@@ -12,9 +12,8 @@ INC+ additionally caches the hash-join build structures, like TRIC+/INV+.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set
 
-from ..graph.elements import Edge
 from ..matching.plans import PathPlan, QueryEvaluationPlan
 from ..matching.relation import Row, extend_path_rows
 from ..query.terms import EdgeKey
@@ -31,19 +30,19 @@ class INCEngine(INVEngine):
     # ------------------------------------------------------------------
     # Answering phase
     # ------------------------------------------------------------------
-    def _answer_query(self, query_id: str, edge: Edge, new_keys: Sequence[EdgeKey]) -> bool:
+    def _answer_query(self, query_id: str, new_rows_by_key: Mapping[EdgeKey, Iterable[Row]]) -> bool:
         plan = self._plans[query_id]
         if any(not self._views.view(key) for key in plan.distinct_keys()):
             return False
 
         deltas: Dict[int, Set[Row]] = {}
-        for key in new_keys:
+        for key, new_rows in new_rows_by_key.items():
             for path_index, positions in plan.key_occurrences.get(key, ()):
+                path_plan = plan.path_plans[path_index]
                 rows: Set[Row] = set()
                 for position in positions:
-                    rows.update(
-                        self._expand_from_update(plan.path_plans[path_index], position, edge)
-                    )
+                    for new_row in new_rows:
+                        rows.update(self._expand_from_update(path_plan, position, new_row))
                 if rows:
                     deltas.setdefault(path_index, set()).update(rows)
         if not deltas:
@@ -72,17 +71,17 @@ class INCEngine(INVEngine):
         )
         return bool(new_bindings)
 
-    def _expand_from_update(self, path_plan: PathPlan, position: int, edge: Edge) -> Set[Row]:
-        """Positional rows of the path that use ``edge`` at edge ``position``.
+    def _expand_from_update(self, path_plan: PathPlan, position: int, new_row: Row) -> Set[Row]:
+        """Positional rows of the path that use ``new_row`` at edge ``position``.
 
-        Starting from the two positions covered by the update, the partial
-        row is expanded to the right (joining each subsequent edge view on
-        the running endpoint) and then to the left (joining each preceding
-        edge view backwards), exactly the "use only the update" strategy the
-        paper describes for INC.
+        Starting from the two positions covered by the update tuple, the
+        partial row is expanded to the right (joining each subsequent edge
+        view on the running endpoint) and then to the left (joining each
+        preceding edge view backwards), exactly the "use only the update"
+        strategy the paper describes for INC.
         """
         keys = path_plan.key_sequence
-        partial_rows: List[Row] = [(edge.source, edge.target)]
+        partial_rows: List[Row] = [new_row]
         for key in keys[position + 1 :]:
             if not partial_rows:
                 return set()

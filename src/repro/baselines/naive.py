@@ -10,7 +10,7 @@ engine is tested for agreement against it.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, FrozenSet, List, Sequence, Set
 
 from ..core.engine import ContinuousEngine
 from ..graph.elements import Edge
@@ -58,6 +58,46 @@ class NaiveEngine(ContinuousEngine):
         self._graph.remove_edge(edge)
         if self._graph.has_edge(edge):
             # Another copy of the edge remains: no answer can disappear.
+            return frozenset()
+        invalidated: Set[str] = set()
+        for query_id in self._satisfied:
+            pattern = self._queries[query_id]
+            if not find_embeddings(self._graph, pattern, injective=self.injective, limit=1):
+                invalidated.add(query_id)
+        return frozenset(invalidated)
+
+    # ------------------------------------------------------------------
+    # Micro-batch processing
+    # ------------------------------------------------------------------
+    def _on_addition_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
+        """Apply the whole batch to the graph, then re-evaluate each query once."""
+        fresh: List[Edge] = []
+        for edge in edges:
+            if not self._graph.has_edge(edge):
+                fresh.append(edge)
+            self._graph.add_edge(edge)
+        if not fresh:
+            return frozenset()
+        matched: Set[str] = set()
+        for query_id, pattern in self._queries.items():
+            for edge in fresh:
+                if find_new_embeddings(
+                    self._graph, pattern, edge, injective=self.injective, limit=1
+                ):
+                    matched.add(query_id)
+                    break
+        return frozenset(matched)
+
+    def _on_deletion_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
+        """Apply the whole batch to the graph, then re-check satisfied queries once."""
+        any_gone = False
+        for edge in edges:
+            self._graph.remove_edge(edge)
+            if not self._graph.has_edge(edge):
+                any_gone = True
+        if not any_gone:
+            # Every deleted edge still has multigraph copies left: no answer
+            # can have disappeared (mirrors the per-update early exit).
             return frozenset()
         invalidated: Set[str] = set()
         for query_id in self._satisfied:

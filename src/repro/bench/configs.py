@@ -71,12 +71,17 @@ class ExperimentConfig:
     measure_memory: bool = False
     #: Number of measurement points along the x axis (graph-size sweeps).
     num_points: int = 5
+    #: Stream updates per engine call: 1 replays per-update, larger values
+    #: drive the engines through answer-equivalent micro-batches.
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise BenchmarkError("scale must be positive")
         if self.num_points <= 0:
             raise BenchmarkError("num_points must be positive")
+        if self.batch_size < 1:
+            raise BenchmarkError("batch_size must be at least 1")
 
     # ------------------------------------------------------------------
     # Scaled sizes
@@ -118,4 +123,5 @@ class ExperimentConfig:
             "overlap": self.overlap,
             "time_budget_s": round(self.scaled_time_budget_s, 1),
             "seed": self.seed,
+            "batch_size": self.batch_size,
         }

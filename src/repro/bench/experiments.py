@@ -238,10 +238,11 @@ def _replay_engine(
     *,
     time_budget_s: float,
     measure_memory: bool,
+    batch_size: int = 1,
 ) -> Tuple[ReplayResult, float]:
     """Index the workload, replay the stream; returns (result, indexing seconds)."""
     engine = create_engine(engine_name)
-    runner = StreamRunner(engine, time_budget_s=time_budget_s)
+    runner = StreamRunner(engine, time_budget_s=time_budget_s, batch_size=batch_size)
     indexing_s = runner.index_queries(workload.queries)
     result = runner.replay(stream, measure_memory=measure_memory)
     return result, indexing_s
@@ -253,12 +254,33 @@ def _checkpoint_positions(total: int, num_points: int) -> List[int]:
     return [max(1, round(total * (i + 1) / num_points)) for i in range(num_points)]
 
 
-def _running_mean_ms(samples: Sequence[float], upto: int) -> float:
-    """Mean of the first ``upto`` latency samples, in milliseconds."""
-    window = samples[:upto]
-    if not window:
+def _running_mean_ms(
+    samples: Sequence[float],
+    upto_updates: int,
+    batch_size: int = 1,
+    total_updates: int | None = None,
+) -> float:
+    """Mean per-update latency over the first ``upto_updates`` updates, in ms.
+
+    With ``batch_size > 1`` each sample covers a whole micro-batch, so the
+    window is ``ceil(upto_updates / batch_size)`` samples and the mean is
+    normalised by the updates those samples actually cover (every window
+    batch is full except possibly the stream's final one, capped by
+    ``total_updates``) — not by ``upto_updates``, which would bias
+    checkpoints that fall inside a batch.
+    """
+    if batch_size > 1:
+        num_samples = -(-upto_updates // batch_size)
+        window = samples[:num_samples]
+        updates_covered = len(window) * batch_size
+        if total_updates is not None:
+            updates_covered = min(updates_covered, total_updates)
+    else:
+        window = samples[:upto_updates]
+        updates_covered = len(window)
+    if not window or not updates_covered:
         return 0.0
-    return sum(window) / len(window) * 1e3
+    return sum(window) / updates_covered * 1e3
 
 
 # ----------------------------------------------------------------------
@@ -292,6 +314,7 @@ def _graph_size_sweep(
             stream,
             time_budget_s=config.scaled_time_budget_s,
             measure_memory=config.measure_memory,
+            batch_size=config.batch_size,
         )
         samples = replay.answering.samples
         for checkpoint in checkpoints:
@@ -300,7 +323,9 @@ def _graph_size_sweep(
                 SeriesPoint(
                     x=checkpoint,
                     engine=engine_name,
-                    answering_ms=_running_mean_ms(samples, checkpoint),
+                    answering_ms=_running_mean_ms(
+                        samples, checkpoint, config.batch_size, replay.updates_processed
+                    ),
                     memory_mb=(
                         replay.memory_bytes / (1024 * 1024)
                         if replay.memory_bytes is not None
@@ -347,6 +372,7 @@ def _parameter_sweep(
                 stream,
                 time_budget_s=config.scaled_time_budget_s,
                 measure_memory=False,
+                batch_size=config.batch_size,
             )
             result.points.append(
                 SeriesPoint(
@@ -503,6 +529,7 @@ def experiment_fig13c(config: ExperimentConfig) -> ExperimentResult:
                 stream,
                 time_budget_s=config.scaled_time_budget_s,
                 measure_memory=True,
+                batch_size=config.batch_size,
             )
             memory_mb = (
                 replay.memory_bytes / (1024 * 1024) if replay.memory_bytes is not None else None

@@ -40,6 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=float, default=None,
                         help="scale factor applied to stream/query sizes and time budgets "
                         f"(default: experiment default; benchmarks use {DEFAULT_BENCH_SCALE})")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="stream updates per engine call (default 1: per-update replay; "
+                        "larger values drive the engines through answer-equivalent "
+                        "micro-batches)")
     parser.add_argument("--output", type=Path, default=None,
                         help="directory to write one .txt report per experiment")
     return parser
@@ -87,9 +91,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
 
+    overrides = {}
+    if args.batch_size is not None:
+        if args.batch_size < 1:
+            print("--batch-size must be at least 1", file=sys.stderr)
+            return 2
+        overrides["batch_size"] = args.batch_size
+
     for experiment_id in selected:
         print(f"=== running {experiment_id} ===", flush=True)
-        result = run_experiment(experiment_id, scale=args.scale)
+        result = run_experiment(experiment_id, scale=args.scale, **overrides)
         report = render_experiment(result)
         print(report)
         print()

@@ -17,7 +17,8 @@ uniformly.
 from __future__ import annotations
 
 import abc
-from typing import Dict, FrozenSet, Iterable, List, Mapping
+import types
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set
 
 from ..graph.elements import Edge, Update, UpdateKind
 from ..graph.errors import DuplicateQueryError, UnknownQueryError
@@ -51,8 +52,13 @@ class ContinuousEngine(abc.ABC):
     # ------------------------------------------------------------------
     @property
     def queries(self) -> Mapping[str, QueryGraphPattern]:
-        """The registered query database keyed by query id."""
-        return dict(self._queries)
+        """Read-only view of the registered query database keyed by query id.
+
+        A :class:`types.MappingProxyType` over the live dictionary — O(1) to
+        obtain (no copy per access) and always current.  Callers that need a
+        snapshot can ``dict(engine.queries)`` explicitly.
+        """
+        return types.MappingProxyType(self._queries)
 
     @property
     def num_queries(self) -> int:
@@ -102,9 +108,54 @@ class ContinuousEngine(abc.ABC):
         self._satisfied.difference_update(invalidated)
         return invalidated
 
+    def on_batch(self, updates: Sequence[Update]) -> FrozenSet[str]:
+        """Process a micro-batch of stream updates.
+
+        Returns the union of the notifications a per-update replay of the
+        batch would emit: ids of queries that gained new answers through the
+        batch's additions plus ids of queries invalidated by its deletions.
+        The final engine state is identical to processing the updates one by
+        one (batching is answer-equivalent).
+
+        Consecutive updates of the same kind form *runs* that are handed to
+        the per-kind batch hooks, which engines override with native
+        micro-batch implementations (one delta join per affected structure
+        per run instead of one per update).  The default hooks fall back to
+        per-update processing.
+        """
+        updates = list(updates)
+        notified: Set[str] = set()
+        start = 0
+        while start < len(updates):
+            kind = updates[start].kind
+            stop = start
+            while stop < len(updates) and updates[stop].kind is kind:
+                stop += 1
+            edges = [update.edge for update in updates[start:stop]]
+            self._updates_processed += len(edges)
+            if kind is UpdateKind.ADD:
+                matched = self._on_addition_batch(edges)
+                self._satisfied.update(matched)
+            else:
+                matched = self._on_deletion_batch(edges)
+                self._satisfied.difference_update(matched)
+            notified.update(matched)
+            start = stop
+        return frozenset(notified)
+
     def process(self, updates: Iterable[Update]) -> List[FrozenSet[str]]:
         """Process many updates; returns the per-update answer sets."""
         return [self.on_update(update) for update in updates]
+
+    def process_batches(self, updates: Iterable[Update], batch_size: int) -> List[FrozenSet[str]]:
+        """Process ``updates`` in micro-batches; returns per-batch answer sets."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        updates = list(updates)
+        return [
+            self.on_batch(updates[start : start + batch_size])
+            for start in range(0, len(updates), batch_size)
+        ]
 
     @property
     def updates_processed(self) -> int:
@@ -129,6 +180,33 @@ class ContinuousEngine(abc.ABC):
     @abc.abstractmethod
     def _on_deletion(self, edge: Edge) -> FrozenSet[str]:
         """Handle an edge deletion; return queries that lost all answers."""
+
+    def _on_addition_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
+        """Handle a run of edge additions; return queries with new answers.
+
+        Default fallback: per-edge processing (``_satisfied`` is kept in
+        step between edges so semantics match a per-update replay exactly).
+        Engines override this with native micro-batch processing.
+        """
+        matched: Set[str] = set()
+        for edge in edges:
+            new = self._on_addition(edge)
+            self._satisfied.update(new)
+            matched.update(new)
+        return frozenset(matched)
+
+    def _on_deletion_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
+        """Handle a run of edge deletions; return queries that lost all answers.
+
+        Default fallback: per-edge processing, mirroring
+        :meth:`_on_addition_batch`.
+        """
+        invalidated: Set[str] = set()
+        for edge in edges:
+            gone = self._on_deletion(edge)
+            self._satisfied.difference_update(gone)
+            invalidated.update(gone)
+        return frozenset(invalidated)
 
     @abc.abstractmethod
     def matches_of(self, query_id: str) -> List[Dict[str, str]]:

@@ -6,15 +6,25 @@ This module implements the paper's primary contribution (Section 4):
   paths; each path (generalised: variables become the anonymous ``?var``) is
   inserted into the trie forest so that structurally identical prefixes of
   different queries share trie nodes *and* their materialized views.
-* **Answering phase** — an incoming edge addition is matched against the
-  (at most four) generalised keys it satisfies, the affected trie nodes are
-  located through ``edgeInd``, incremental deltas are joined down the tries
-  (pruning sub-tries whose delta dies), and finally the affected queries'
-  covering-path views are joined to produce the new answers.
+* **Answering phase** — stream updates are processed through a *unified
+  delta pipeline*: a micro-batch of edge additions (a single update is just
+  a batch of one) is matched against the (at most four) generalised keys
+  each edge satisfies, the affected trie nodes are located through
+  ``edgeInd``, one positive delta per affected node per batch is joined down
+  the tries (pruning sub-tries whose delta dies), and finally the affected
+  queries' covering-path views are joined to produce the new answers.
+  Deletions flow through the same pipeline with the sign flipped: the
+  retracted base tuples become *negative* deltas that propagate down the
+  tries row by row, so a deletion costs one pruned traversal instead of a
+  sub-trie rebuild (paper Section 4.3 treats deletions as first-class
+  stream updates; the legacy rebuild strategy is retained behind
+  ``deletion_strategy="rebuild"`` for comparison benchmarks).
 
 ``TRICEngine(cache=True)`` (exposed as :class:`TRICPlusEngine`) additionally
 caches hash-join build structures and per-path binding relations, which is
-the paper's TRIC+ variant.
+the paper's TRIC+ variant.  Both caches absorb deletions incrementally:
+join build tables replay the views' signed delta logs and binding relations
+are maintained with support counts, so neither is cleared on the hot path.
 """
 
 from __future__ import annotations
@@ -24,9 +34,10 @@ from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 from ..graph.elements import Edge
 from ..matching.cache import JoinCache
 from ..matching.plans import QueryEvaluationPlan, bindings_to_dicts
-from ..matching.relation import Relation, Row, extend_path_rows
+from ..matching.relation import CountedRelation, Relation, Row, build_row_index, extend_path_rows
 from ..matching.views import EdgeViewRegistry
 from ..query.pattern import QueryGraphPattern
+from ..query.terms import EdgeKey
 from .engine import ContinuousEngine
 from .trie import TrieForest, TrieNode
 
@@ -47,24 +58,39 @@ class TRICEngine(ContinuousEngine):
         instead of being rebuilt on every update.
     injective:
         Require injective (isomorphism) answer semantics.
+    deletion_strategy:
+        ``"counting"`` (default) propagates deletions down the tries as
+        negative deltas and keeps every cache warm; ``"rebuild"`` is the
+        legacy strategy that rebuilds affected sub-tries from the base views
+        and drops the caches (kept for comparison benchmarks).
     """
 
     name = "TRIC"
 
-    def __init__(self, *, cache: bool = False, injective: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        cache: bool = False,
+        injective: bool = False,
+        deletion_strategy: str = "counting",
+    ) -> None:
         super().__init__(injective=injective)
+        if deletion_strategy not in ("counting", "rebuild"):
+            raise ValueError(f"unknown deletion strategy: {deletion_strategy!r}")
         self.cache_enabled = cache
+        self.deletion_strategy = deletion_strategy
         self._forest = TrieForest()
         self._views = EdgeViewRegistry()
         self._plans: Dict[str, QueryEvaluationPlan] = {}
         self._terminals: Dict[str, List[TrieNode]] = {}
         self._join_cache: JoinCache | None = JoinCache() if cache else None
-        # (query id, path index) -> (terminal-view log position, removal
-        # version, cached binding relation).  The cached relation is patched
-        # with the bindings of freshly appended terminal rows instead of
-        # being rebuilt, and its identity stays stable so the join cache can
-        # keep reusing its build-side hash tables.
-        self._binding_cache: Dict[Tuple[str, int], Tuple[int, int, Relation]] = {}
+        # (query id, path index) -> (terminal-view log position, terminal-view
+        # epoch, cached counted binding relation).  The cached relation is
+        # patched by replaying the terminal view's signed delta log — support
+        # counts absorb both appended and removed positional rows — and its
+        # identity stays stable so the join cache can keep reusing its
+        # build-side hash tables.
+        self._binding_cache: Dict[Tuple[str, int], Tuple[int, int, CountedRelation]] = {}
 
     # ------------------------------------------------------------------
     # Indexing phase (paper Fig. 5)
@@ -110,27 +136,36 @@ class TRICEngine(ContinuousEngine):
     # Answering phase — additions (paper Figs. 8 and 10)
     # ------------------------------------------------------------------
     def _on_addition(self, edge: Edge) -> FrozenSet[str]:
-        changed = self._views.apply_addition(edge)
-        new_keys = [key for key, is_new in changed if is_new]
-        if not new_keys:
+        return self._on_addition_batch([edge])
+
+    def _on_addition_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
+        """Native micro-batch addition processing.
+
+        All base views absorb the batch first; then every affected trie node
+        computes *one* positive delta for the whole batch (amortizing the
+        parent-view probe structures over the batch) and propagates it down
+        its sub-trie.  The affected queries are evaluated once per batch.
+        """
+        new_by_key = self._views.apply_additions(edges)
+        if not new_by_key:
             return frozenset()
 
         affected_nodes: Dict[int, TrieNode] = {}
-        for key in new_keys:
+        for key in new_by_key:
             for node in self._forest.nodes_with_key(key):
                 affected_nodes[node.node_id] = node
         if not affected_nodes:
             return frozenset()
 
         affected: _AffectedMap = {}
-        update_row = (edge.source, edge.target)
         # Shallow nodes first so a parent's view already contains the new
         # delta when a deeper node with the same key computes its own delta.
         for node in sorted(affected_nodes.values(), key=lambda n: n.depth):
+            new_rows = new_by_key[node.key]
             if node.is_root:
-                delta = [update_row]
+                delta = list(new_rows)
             else:
-                delta = self._delta_against_parent(node, edge)
+                delta = self._delta_against_parent(node, new_rows)
             added = node.view.add_all(delta)
             if not added:
                 continue
@@ -139,25 +174,35 @@ class TRICEngine(ContinuousEngine):
 
         return self._evaluate_affected(affected)
 
-    def _delta_against_parent(self, node: TrieNode, edge: Edge) -> List[Row]:
-        """Delta of a non-root node hit directly by the update.
+    def _delta_against_parent(self, node: TrieNode, new_rows: Sequence[Row]) -> List[Row]:
+        """Delta of a non-root node hit directly by a batch of new tuples.
 
-        Joins the parent's prefix view with the single update tuple: rows of
-        the parent whose last vertex equals the update's source, extended
-        with the update's target.  With caching enabled the parent view's
-        build-side index (keyed by its last column) is cached and patched.
+        Joins the parent's prefix view with the new base tuples of the
+        node's key: rows of the parent whose last vertex equals a new
+        tuple's source, extended with that tuple's target.  With caching
+        enabled the parent view's build-side index (keyed by its last
+        column) is cached and patched; without caching a throwaway index is
+        built once per batch when the batch is large enough to amortize it.
         """
         parent_view = node.parent.view
         last_position = parent_view.arity - 1
         if self._join_cache is not None:
             index = self._join_cache.build_index(parent_view, (last_position,))
-            bucket = index.get((edge.source,), ())
-            return [parent_row + (edge.target,) for parent_row in bucket]
-        return [
-            parent_row + (edge.target,)
-            for parent_row in parent_view.rows
-            if parent_row[-1] == edge.source
-        ]
+        elif len(new_rows) > 1:
+            index = build_row_index(parent_view.rows, (last_position,))
+        else:
+            source, target = new_rows[0]
+            return [
+                parent_row + (target,)
+                for parent_row in parent_view.rows
+                if parent_row[-1] == source
+            ]
+        delta: List[Row] = []
+        for source, target in new_rows:
+            bucket = index.get((source,))
+            if bucket:
+                delta.extend(parent_row + (target,) for parent_row in bucket)
+        return delta
 
     def _propagate(self, node: TrieNode, delta_rows: Sequence[Row], affected: _AffectedMap) -> None:
         """Push a delta down the sub-trie, pruning branches whose delta dies."""
@@ -209,12 +254,98 @@ class TRICEngine(ContinuousEngine):
     # Answering phase — deletions (extension, paper Section 4.3)
     # ------------------------------------------------------------------
     def _on_deletion(self, edge: Edge) -> FrozenSet[str]:
-        affected_keys = self._views.apply_deletion(edge)
+        return self._on_deletion_batch([edge])
+
+    def _on_deletion_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
+        """Native micro-batch deletion processing.
+
+        Deletions flow through the same delta pipeline as additions, with
+        the sign flipped: the base tuples retracted from the views become
+        negative deltas at the directly affected trie nodes, and prefix rows
+        that die propagate their deaths down the sub-tries (pruning branches
+        whose negative delta dies).  Caches are patched through the views'
+        delta logs, never cleared.
+        """
+        if self.deletion_strategy == "rebuild":
+            return self._rebuild_after_deletions(edges)
+        removed_by_key = self._views.apply_deletions(edges)
+        if not removed_by_key:
+            return frozenset()
+
+        affected_nodes: Dict[int, TrieNode] = {}
+        for key in removed_by_key:
+            for node in self._forest.nodes_with_key(key):
+                affected_nodes[node.node_id] = node
+
+        affected_queries: Set[str] = set()
+        # Shallow nodes first, mirroring additions: a deeper node hit both
+        # directly and through its ancestor sees its view already pruned.
+        for node in sorted(affected_nodes.values(), key=lambda n: n.depth):
+            dead = self._direct_dead_rows(node, removed_by_key[node.key])
+            removed = node.view.remove_all(dead)
+            if not removed:
+                continue
+            affected_queries.update(query_id for query_id, _ in node.query_paths)
+            self._propagate_removals(node, removed, affected_queries)
+
+        invalidated: Set[str] = set()
+        for query_id in affected_queries:
+            if query_id in self._satisfied and not self.matches_of(query_id):
+                invalidated.add(query_id)
+        return frozenset(invalidated)
+
+    def _direct_dead_rows(self, node: TrieNode, removed_rows: Set[Row]) -> List[Row]:
+        """Rows of ``node``'s view that use a retracted base tuple at the
+        node's own edge position."""
+        position = node.depth - 1
+        view = node.view
+        if self._join_cache is not None:
+            index = self._join_cache.build_index(view, (position, position + 1))
+            dead: List[Row] = []
+            for pair in removed_rows:
+                dead.extend(index.get(pair, ()))
+            return dead
+        return [
+            row for row in view.rows if (row[position], row[position + 1]) in removed_rows
+        ]
+
+    def _propagate_removals(
+        self, node: TrieNode, removed: Sequence[Row], affected_queries: Set[str]
+    ) -> None:
+        """Push a negative delta down the sub-trie, pruning branches where it dies.
+
+        A child row dies exactly when its parent prefix died; with caching
+        enabled the child view's prefix index is cached and patched, without
+        caching the child view is scanned once per batch.
+        """
+        removed_prefixes = set(removed)
+        for child in node.children:
+            child_view = child.view
+            if not child_view:
+                continue
+            if self._join_cache is not None:
+                prefix_positions = tuple(range(child_view.arity - 1))
+                index = self._join_cache.build_index(child_view, prefix_positions)
+                dead: List[Row] = []
+                for prefix in removed_prefixes:
+                    dead.extend(index.get(prefix, ()))
+            else:
+                dead = [row for row in child_view.rows if row[:-1] in removed_prefixes]
+            child_removed = child_view.remove_all(dead)
+            if not child_removed:
+                continue
+            affected_queries.update(query_id for query_id, _ in child.query_paths)
+            self._propagate_removals(child, child_removed, affected_queries)
+
+    # ------------------------------------------------------------------
+    # Legacy deletion strategy (rebuild affected sub-tries, drop caches)
+    # ------------------------------------------------------------------
+    def _rebuild_after_deletions(self, edges: Sequence[Edge]) -> FrozenSet[str]:
+        affected_keys: Set[EdgeKey] = set(self._views.apply_deletions(edges))
         if not affected_keys:
             return frozenset()
-        # Deletions are rare in the paper's model; correctness is achieved by
-        # rebuilding the affected sub-tries from the base views and dropping
-        # the caches, rather than by counting-based incremental maintenance.
+        # The legacy strategy achieves correctness by rebuilding the affected
+        # sub-tries from the base views and dropping the caches wholesale.
         if self._join_cache is not None:
             self._join_cache.clear()
         self._binding_cache.clear()
@@ -280,27 +411,28 @@ class TRICEngine(ContinuousEngine):
             cache_key = (query_id, path_index)
             entry = self._binding_cache.get(cache_key)
             view = terminal.view
-            if entry is not None and entry[1] == view.last_removal_version:
+            if entry is not None and entry[1] == view.epoch:
                 log_position, _, cached = entry
                 if log_position < view.log_length:
-                    # Patch with the bindings of the rows appended since the
-                    # cache entry was last refreshed; the relation object (and
-                    # therefore its join-cache identity) stays stable.
-                    fresh = path_plan.bindings_from_rows(view.appended_since(log_position))
-                    cached.add_all(fresh.rows - cached.rows)
-                    self._binding_cache[cache_key] = (
-                        view.log_length,
-                        view.last_removal_version,
-                        cached,
-                    )
+                    # Replay the terminal view's signed delta log: appended
+                    # positional rows add support to their binding, removed
+                    # rows retract it, and the binding disappears only when
+                    # its last supporting row dies (counting maintenance).
+                    # The relation object (and therefore its join-cache
+                    # identity) stays stable across both signs.
+                    for row, sign in view.deltas_since(log_position):
+                        binding = path_plan.binding_of_row(row)
+                        if binding is None:
+                            continue
+                        if sign > 0:
+                            cached.add(binding)
+                        else:
+                            cached.remove(binding)
+                    self._binding_cache[cache_key] = (view.log_length, view.epoch, cached)
                 relations.append(cached)
                 continue
-            rebuilt = path_plan.bindings_from_rows(view.rows)
-            self._binding_cache[cache_key] = (
-                view.log_length,
-                view.last_removal_version,
-                rebuilt,
-            )
+            rebuilt = path_plan.counted_bindings_from_rows(view.rows)
+            self._binding_cache[cache_key] = (view.log_length, view.epoch, rebuilt)
             relations.append(rebuilt)
         return relations
 
@@ -336,6 +468,7 @@ class TRICEngine(ContinuousEngine):
         description = super().describe()
         description.update(self.statistics())
         description["cache"] = self.cache_enabled
+        description["deletion_strategy"] = self.deletion_strategy
         return description
 
 
@@ -344,5 +477,5 @@ class TRICPlusEngine(TRICEngine):
 
     name = "TRIC+"
 
-    def __init__(self, *, injective: bool = False) -> None:
-        super().__init__(cache=True, injective=injective)
+    def __init__(self, *, injective: bool = False, deletion_strategy: str = "counting") -> None:
+        super().__init__(cache=True, injective=injective, deletion_strategy=deletion_strategy)

@@ -3,11 +3,12 @@
 from .cache import CacheStatistics, JoinCache
 from .evaluator import count_embeddings, find_embeddings, find_new_embeddings
 from .plans import PathPlan, QueryEvaluationPlan, bindings_to_dicts
-from .relation import Relation, natural_join
+from .relation import CountedRelation, Relation, natural_join
 from .views import EdgeViewRegistry
 
 __all__ = [
     "Relation",
+    "CountedRelation",
     "natural_join",
     "JoinCache",
     "CacheStatistics",

@@ -7,14 +7,16 @@ incrementally instead of rebuilding them from scratch.
 
 :class:`JoinCache` keys build-side hash tables by ``(relation uid, key
 columns)`` and tracks the relation version it was built against.  When the
-relation has since gained rows, the cached table is *patched* with only the
-new rows (cheap) rather than rebuilt; when rows were removed the entry is
-rebuilt from scratch.
+relation has since changed, the cached table is *patched* by replaying the
+relation's signed delta log: appended rows are inserted into their buckets
+and removed rows are deleted from them, so deletions are as cheap to absorb
+as additions.  Only a wholesale replacement of the relation (an epoch bump)
+forces a rebuild from scratch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from .relation import Relation, Row
 
@@ -24,12 +26,13 @@ __all__ = ["JoinCache", "CacheStatistics"]
 class CacheStatistics:
     """Counters describing how effective a :class:`JoinCache` has been."""
 
-    __slots__ = ("hits", "misses", "incremental_patches", "rebuilds")
+    __slots__ = ("hits", "misses", "incremental_patches", "removal_patches", "rebuilds")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.incremental_patches = 0
+        self.removal_patches = 0
         self.rebuilds = 0
 
     @property
@@ -43,30 +46,32 @@ class CacheStatistics:
             "hits": self.hits,
             "misses": self.misses,
             "incremental_patches": self.incremental_patches,
+            "removal_patches": self.removal_patches,
             "rebuilds": self.rebuilds,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CacheStatistics(hits={self.hits}, misses={self.misses}, "
-            f"patches={self.incremental_patches}, rebuilds={self.rebuilds})"
+            f"patches={self.incremental_patches}, removals={self.removal_patches}, "
+            f"rebuilds={self.rebuilds})"
         )
 
 
 class _CacheEntry:
-    __slots__ = ("index", "version", "log_position", "removal_version")
+    __slots__ = ("index", "version", "log_position", "epoch")
 
     def __init__(
         self,
         index: Dict[Tuple[str, ...], List[Row]],
         version: int,
         log_position: int,
-        removal_version: int,
+        epoch: int,
     ) -> None:
         self.index = index
         self.version = version
         self.log_position = log_position
-        self.removal_version = removal_version
+        self.epoch = epoch
 
 
 class JoinCache:
@@ -94,33 +99,79 @@ class JoinCache:
         """
         cache_key = (relation.uid, key_positions)
         entry = self._entries.get(cache_key)
-        if entry is not None and entry.removal_version == relation.last_removal_version:
+        if entry is not None and entry.epoch == relation.epoch:
             if entry.version == relation.version:
                 self.statistics.hits += 1
                 return entry.index
-            # Rows were only appended since the entry was built: patch the
-            # build table with just the new rows from the append log.
-            self.statistics.hits += 1
-            self.statistics.incremental_patches += 1
-            for row in relation.appended_since(entry.log_position):
-                key = tuple(row[i] for i in key_positions)
-                entry.index.setdefault(key, []).append(row)
-            entry.log_position = relation.log_length
-            entry.version = relation.version
-            return entry.index
+            if self._patch_entry(entry, relation, key_positions):
+                self.statistics.hits += 1
+                self.statistics.incremental_patches += 1
+                return entry.index
+            # The entry diverged from the relation (should not happen):
+            # self-heal by falling through to a full rebuild.
 
         self.statistics.misses += 1
         if entry is not None:
+            # Wholesale replacement (epoch bump) or a failed patch: rebuild.
             self.statistics.rebuilds += 1
         index: Dict[Tuple[str, ...], List[Row]] = {}
         for row in relation.rows:
             key = tuple(row[i] for i in key_positions)
             index.setdefault(key, []).append(row)
         self._entries[cache_key] = _CacheEntry(
-            index, relation.version, relation.log_length, relation.last_removal_version
+            index, relation.version, relation.log_length, relation.epoch
         )
         self._evict_if_needed()
         return index
+
+    def _patch_entry(
+        self, entry: _CacheEntry, relation: Relation, key_positions: Tuple[int, ...]
+    ) -> bool:
+        """Replay the relation's signed delta log against a build table.
+
+        The deltas are collapsed to their *net* visibility effect per row
+        (a row removed and re-added cancels out), removals are applied with
+        one filtering pass per affected bucket instead of one list scan per
+        row, and appends are bulk-extended.  Returns ``False`` — leaving the
+        entry untouched for a rebuild — when a removal does not match the
+        bucket contents, which would mean the table diverged from its
+        relation.
+        """
+        net: Dict[Row, int] = {}
+        for row, sign in relation.deltas_since(entry.log_position):
+            net[row] = net.get(row, 0) + sign
+        added_by_key: Dict[Tuple[str, ...], List[Row]] = {}
+        removed_by_key: Dict[Tuple[str, ...], Set[Row]] = {}
+        for row, effect in net.items():
+            if effect == 0:
+                continue
+            key = tuple(row[i] for i in key_positions)
+            if effect > 0:
+                added_by_key.setdefault(key, []).append(row)
+            else:
+                removed_by_key.setdefault(key, set()).add(row)
+
+        index = entry.index
+        replacements: Dict[Tuple[str, ...], List[Row]] = {}
+        for key, removed_rows in removed_by_key.items():
+            bucket = index.get(key)
+            if bucket is None:
+                return False
+            kept = [row for row in bucket if row not in removed_rows]
+            if len(kept) != len(bucket) - len(removed_rows):
+                return False
+            replacements[key] = kept
+            self.statistics.removal_patches += len(removed_rows)
+        for key, kept in replacements.items():
+            if kept:
+                index[key] = kept
+            else:
+                del index[key]
+        for key, added_rows in added_by_key.items():
+            index.setdefault(key, []).extend(added_rows)
+        entry.log_position = relation.log_length
+        entry.version = relation.version
+        return True
 
     def invalidate(self, relation: Relation) -> None:
         """Forget every cached structure derived from ``relation``."""

@@ -21,7 +21,7 @@ from ..query.paths import CoveringPath, covering_paths
 from ..query.pattern import QueryGraphPattern
 from ..query.terms import EdgeKey, Literal, Variable
 from .cache import JoinCache
-from .relation import Relation, Row, natural_join
+from .relation import CountedRelation, Relation, Row, natural_join
 
 __all__ = ["PathPlan", "QueryEvaluationPlan", "bindings_to_dicts"]
 
@@ -77,17 +77,37 @@ class PathPlan:
     # ------------------------------------------------------------------
     # Positional rows -> variable bindings
     # ------------------------------------------------------------------
+    def binding_of_row(self, row: Row) -> Row | None:
+        """Variable binding of one positional row, or ``None`` when the row
+        violates the path's repeated-variable equality constraints."""
+        eq = self.equality_positions
+        if eq and not all(row[i] == row[j] for i, j in eq):
+            return None
+        return tuple(row[p] for p in self.variable_positions)
+
     def bindings_from_rows(self, rows: Iterable[Row]) -> Relation:
         """Convert positional path rows into a relation over variable names."""
         result = Relation(self.variable_names)
-        eq = self.equality_positions
-        var_pos = self.variable_positions
         for row in rows:
-            if eq and not all(row[i] == row[j] for i, j in eq):
-                continue
-            result.rows.add(tuple(row[p] for p in var_pos))
+            binding = self.binding_of_row(row)
+            if binding is not None:
+                result.rows.add(binding)
         if result.rows:
             result.version += 1
+        return result
+
+    def counted_bindings_from_rows(self, rows: Iterable[Row]) -> CountedRelation:
+        """Like :meth:`bindings_from_rows` but with per-binding support counts.
+
+        Each positional row contributes one derivation to its binding, so
+        the relation can later absorb positional-row *removals* through the
+        counting algorithm instead of being rebuilt.
+        """
+        result = CountedRelation(self.variable_names)
+        for row in rows:
+            binding = self.binding_of_row(row)
+            if binding is not None:
+                result.add(binding)
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -17,34 +17,54 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
-__all__ = ["Relation", "natural_join", "extend_path_rows", "EMPTY_ROWS"]
+__all__ = [
+    "Relation",
+    "CountedRelation",
+    "natural_join",
+    "extend_path_rows",
+    "build_row_index",
+    "EMPTY_ROWS",
+]
 
 Row = Tuple[str, ...]
+#: A visibility change of one row: ``(row, +1)`` when the row appeared in the
+#: relation, ``(row, -1)`` when it disappeared.
+Delta = Tuple[Row, int]
 EMPTY_ROWS: frozenset = frozenset()
 
 _uid_counter = itertools.count()
+
+#: Delta-log compaction thresholds: the log is snapshot-reset once it is at
+#: least this long *and* more than ``_COMPACT_FACTOR`` times the live row
+#: count (see :meth:`Relation._maybe_compact_log`).
+_COMPACT_MIN_LOG = 64
+_COMPACT_FACTOR = 4
 
 
 class Relation:
     """A set of equal-length tuples with named columns.
 
-    Relations are mutable (rows are added incrementally as updates arrive)
-    and carry a ``version`` counter so cached join-side hash tables can be
-    invalidated cheaply.
+    Relations are mutable (rows are added and removed incrementally as
+    updates arrive) and carry a ``version`` counter plus a signed *delta log*
+    of visibility changes, so cached join-side hash tables can be patched
+    with exactly the rows that appeared or disappeared since they were built
+    — additions and deletions are symmetric deltas, neither forces a
+    rebuild.  Only the wholesale operations (:meth:`replace_rows`,
+    :meth:`clear`) reset the log; they bump ``epoch`` so log positions from
+    a previous epoch are recognisably stale.
     """
 
-    __slots__ = ("schema", "rows", "version", "uid", "_append_log", "last_removal_version")
+    __slots__ = ("schema", "rows", "version", "uid", "epoch", "_delta_log")
 
     def __init__(self, schema: Sequence[str], rows: Iterable[Row] = ()) -> None:
         self.schema: Tuple[str, ...] = tuple(schema)
         self.rows: Set[Row] = set(rows)
         self.version = 0
         self.uid = next(_uid_counter)
-        # Append-only log of added rows; lets join caches patch their build
-        # tables with only the rows added since they were built.  Removals
-        # bump ``last_removal_version`` which forces a full rebuild instead.
-        self._append_log: List[Row] = list(self.rows)
-        self.last_removal_version = 0
+        #: Bumped whenever the delta log is reset wholesale; positions into
+        #: the log are only comparable within the same epoch.
+        self.epoch = 0
+        self._delta_log: List[Delta] = [(row, 1) for row in self.rows]
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -82,7 +102,7 @@ class Relation:
         if row in self.rows:
             return False
         self.rows.add(row)
-        self._append_log.append(row)
+        self._delta_log.append((row, 1))
         self.version += 1
         return True
 
@@ -91,39 +111,69 @@ class Relation:
         added = [row for row in rows if self.add(row)]
         return added
 
+    def remove(self, row: Row) -> bool:
+        """Remove ``row`` if present; return ``True`` when something was removed.
+
+        The removal is recorded in the delta log as a negative entry, so
+        caches built against this relation patch themselves instead of
+        rebuilding.
+        """
+        if row not in self.rows:
+            return False
+        self.rows.remove(row)
+        self._delta_log.append((row, -1))
+        self.version += 1
+        self._maybe_compact_log()
+        return True
+
+    def _maybe_compact_log(self) -> None:
+        """Bound the delta log on churn-heavy relations.
+
+        Add/remove pairs grow the log without growing the row set; once it
+        dominates the live rows the log is reset to a snapshot (an epoch
+        bump, so readers holding positions rebuild instead of patching).
+        The O(rows) reset is amortized against the removals that earned it.
+        """
+        log = self._delta_log
+        if len(log) >= _COMPACT_MIN_LOG and len(log) > _COMPACT_FACTOR * len(self.rows):
+            self.epoch += 1
+            self._delta_log = [(row, 1) for row in self.rows]
+
+    def remove_all(self, rows: Iterable[Row]) -> List[Row]:
+        """Remove every row; return the list of rows actually removed."""
+        return [row for row in rows if self.remove(row)]
+
     def discard(self, row: Row) -> bool:
-        """Remove ``row`` if present; return ``True`` when something was removed."""
-        if row in self.rows:
-            self.rows.remove(row)
-            self.version += 1
-            self.last_removal_version = self.version
-            self._append_log = list(self.rows)
-            return True
-        return False
+        """Alias of :meth:`remove` (kept for backwards compatibility)."""
+        return self.remove(row)
 
     def clear(self) -> None:
-        """Remove every row."""
+        """Remove every row (wholesale: resets the delta log, bumps the epoch)."""
         if self.rows:
             self.rows.clear()
             self.version += 1
-            self.last_removal_version = self.version
-            self._append_log = []
+            self.epoch += 1
+            self._delta_log = []
 
     def replace_rows(self, rows: Iterable[Row]) -> None:
-        """Replace the contents wholesale (used when rebuilding after deletes)."""
+        """Replace the contents wholesale (resets the delta log, bumps the epoch)."""
         self.rows = set(rows)
         self.version += 1
-        self.last_removal_version = self.version
-        self._append_log = list(self.rows)
+        self.epoch += 1
+        self._delta_log = [(row, 1) for row in self.rows]
 
-    def appended_since(self, log_position: int) -> Sequence[Row]:
-        """Rows appended after ``log_position`` (valid while no removal happened)."""
-        return self._append_log[log_position:]
+    def deltas_since(self, log_position: int) -> Sequence[Delta]:
+        """Signed visibility changes after ``log_position`` (same epoch only)."""
+        return self._delta_log[log_position:]
+
+    def appended_since(self, log_position: int) -> List[Row]:
+        """Rows that appeared after ``log_position`` (ignores removals)."""
+        return [row for row, sign in self._delta_log[log_position:] if sign > 0]
 
     @property
     def log_length(self) -> int:
-        """Current length of the append log."""
-        return len(self._append_log)
+        """Current length of the delta log."""
+        return len(self._delta_log)
 
     # ------------------------------------------------------------------
     # Relational operators
@@ -168,7 +218,74 @@ class Relation:
         return f"Relation(schema={self.schema}, rows={len(self.rows)})"
 
 
-def _build_index(
+class CountedRelation(Relation):
+    """A relation whose rows carry *support counts* (counting-based maintenance).
+
+    Used for derived views where the same row can be produced by several
+    distinct derivations — e.g. a per-path binding relation, where many
+    positional path rows project onto the same variable binding.  A row
+    becomes visible when its support goes ``0 -> 1`` and disappears only when
+    the *last* supporting derivation is retracted (``1 -> 0``), which is the
+    classic counting algorithm for incremental view maintenance of
+    projections.  Visibility changes are logged exactly like a plain
+    :class:`Relation`, so join caches built on a counted relation patch
+    themselves identically.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, schema: Sequence[str], rows: Iterable[Row] = ()) -> None:
+        super().__init__(schema)
+        self._counts: Dict[Row, int] = {}
+        for row in rows:
+            self.add(row)
+
+    def support(self, row: Row) -> int:
+        """Number of live derivations of ``row``."""
+        return self._counts.get(row, 0)
+
+    def add(self, row: Row) -> bool:
+        """Add one derivation of ``row``; ``True`` when the row became visible."""
+        count = self._counts.get(row, 0)
+        self._counts[row] = count + 1
+        if count == 0:
+            return super().add(row)
+        return False
+
+    def remove(self, row: Row) -> bool:
+        """Retract one derivation of ``row``; ``True`` when the row disappeared."""
+        count = self._counts.get(row, 0)
+        if count == 0:
+            return False
+        if count == 1:
+            del self._counts[row]
+            return super().remove(row)
+        self._counts[row] = count - 1
+        return False
+
+    def discard(self, row: Row) -> bool:
+        """Drop ``row`` entirely, regardless of its remaining support."""
+        self._counts.pop(row, None)
+        if row in self.rows:
+            return Relation.remove(self, row)
+        return False
+
+    def clear(self) -> None:
+        self._counts.clear()
+        super().clear()
+
+    def replace_rows(self, rows: Iterable[Row]) -> None:
+        counts: Dict[Row, int] = {}
+        for row in rows:
+            counts[row] = counts.get(row, 0) + 1
+        self._counts = counts
+        super().replace_rows(counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CountedRelation(schema={self.schema}, rows={len(self.rows)})"
+
+
+def build_row_index(
     rows: Iterable[Row], key_positions: Sequence[int]
 ) -> Dict[Tuple[str, ...], List[Row]]:
     """Hash-join build phase: bucket ``rows`` by their key columns."""
@@ -177,6 +294,10 @@ def _build_index(
         key = tuple(row[i] for i in key_positions)
         index.setdefault(key, []).append(row)
     return index
+
+
+# Backwards-compatible private alias (pre-batching internal name).
+_build_index = build_row_index
 
 
 def extend_path_rows(

@@ -14,7 +14,7 @@ from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 from ..graph.elements import Edge
 from ..query.terms import EdgeKey, candidate_keys_for_edge
-from .relation import Relation
+from .relation import Relation, Row
 
 __all__ = ["EdgeViewRegistry"]
 
@@ -126,6 +126,37 @@ class EdgeViewRegistry:
     def multiplicity(self, edge: Edge) -> int:
         """Number of live copies of ``edge`` known to the registry."""
         return self._multiplicity.get(edge, 0)
+
+    # ------------------------------------------------------------------
+    # Micro-batch maintenance
+    # ------------------------------------------------------------------
+    def apply_additions(self, edges: Iterable[Edge]) -> Dict[EdgeKey, List[Row]]:
+        """Add a micro-batch of edges; group the genuinely new tuples by key.
+
+        Returns a mapping from each affected generalised key to the list of
+        ``(source, target)`` tuples that were new to its view — exactly the
+        per-key positive deltas the engines join down their structures.
+        """
+        new_by_key: Dict[EdgeKey, List[Row]] = {}
+        for edge in edges:
+            for key, is_new in self.apply_addition(edge):
+                if is_new:
+                    new_by_key.setdefault(key, []).append((edge.source, edge.target))
+        return new_by_key
+
+    def apply_deletions(self, edges: Iterable[Edge]) -> Dict[EdgeKey, Set[Row]]:
+        """Delete a micro-batch of edges; group the retracted tuples by key.
+
+        Returns a mapping from each affected generalised key to the set of
+        ``(source, target)`` tuples its view lost — the per-key negative
+        deltas, symmetric to :meth:`apply_additions`.
+        """
+        removed_by_key: Dict[EdgeKey, Set[Row]] = {}
+        for edge in edges:
+            row = (edge.source, edge.target)
+            for key in self.apply_deletion(edge):
+                removed_by_key.setdefault(key, set()).add(row)
+        return removed_by_key
 
     # ------------------------------------------------------------------
     # Introspection

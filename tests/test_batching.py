@@ -1,0 +1,190 @@
+"""Batched processing must be answer-equivalent to per-update processing.
+
+The unified delta pipeline promises that driving any engine through
+micro-batches (``on_batch``) yields, for every batch window, exactly the
+union of the notifications a per-update replay of that window would emit —
+and leaves the engine in an identical state (same satisfied set, same
+``matches_of`` answers).  These tests replay random mixed add/delete streams
+through every engine twice and compare the two drives window by window.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ENGINE_FACTORIES, TRICEngine, TRICPlusEngine, add, create_engine, delete
+from repro.baselines.naive import NaiveEngine
+from repro.core.engine import ContinuousEngine
+from repro.streams import StreamRunner
+
+from test_equivalence import _random_query
+
+ALL_ENGINE_NAMES = list(ENGINE_FACTORIES)
+
+
+def _random_stream(rng: random.Random, num_updates: int, deletion_rate: float):
+    labels = ["knows", "likes", "posted"]
+    vertices = [f"v{i}" for i in range(8)]
+    live = []
+    updates = []
+    for _ in range(num_updates):
+        if live and rng.random() < deletion_rate:
+            edge = live.pop(rng.randrange(len(live)))
+            updates.append(delete(edge.label, edge.source, edge.target))
+        else:
+            update = add(rng.choice(labels), rng.choice(vertices), rng.choice(vertices))
+            live.append(update.edge)
+            updates.append(update)
+    return updates
+
+
+def _random_workload(seed: int, num_queries: int = 8):
+    rng = random.Random(seed)
+    labels = ["knows", "likes", "posted"]
+    vertices = [f"v{i}" for i in range(8)]
+    return rng, [_random_query(rng, f"Q{i}", labels, vertices) for i in range(num_queries)]
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("engine_name", ALL_ENGINE_NAMES)
+    @pytest.mark.parametrize("batch_size", [3, 16, 256])
+    def test_batched_drive_equals_per_update_drive(self, engine_name, batch_size):
+        rng, queries = _random_workload(seed=5)
+        updates = _random_stream(rng, num_updates=100, deletion_rate=0.25)
+
+        per_update = create_engine(engine_name)
+        batched = create_engine(engine_name)
+        for engine in (per_update, batched):
+            engine.register_all(queries)
+
+        for start in range(0, len(updates), batch_size):
+            window = updates[start : start + batch_size]
+            union = frozenset().union(*(per_update.on_update(u) for u in window))
+            assert batched.on_batch(window) == union, f"window at {start}"
+
+        assert batched.satisfied_queries() == per_update.satisfied_queries()
+        assert batched.updates_processed == per_update.updates_processed
+        for query in queries:
+            assert batched.matches_of(query.query_id) == per_update.matches_of(query.query_id)
+
+    @pytest.mark.parametrize("engine_name", ALL_ENGINE_NAMES)
+    def test_single_update_batch_equals_on_update(self, engine_name):
+        rng, queries = _random_workload(seed=9, num_queries=5)
+        updates = _random_stream(rng, num_updates=60, deletion_rate=0.2)
+        one_by_one = create_engine(engine_name)
+        batched = create_engine(engine_name)
+        for engine in (one_by_one, batched):
+            engine.register_all(queries)
+        for update in updates:
+            assert batched.on_batch([update]) == one_by_one.on_update(update)
+
+
+class _FallbackNaive(NaiveEngine):
+    """Naive engine with the base class's per-update batch fallbacks."""
+
+    _on_addition_batch = ContinuousEngine._on_addition_batch
+    _on_deletion_batch = ContinuousEngine._on_deletion_batch
+
+
+class TestFallbackBatching:
+    def test_fallback_agrees_with_native_batching(self):
+        rng, queries = _random_workload(seed=13, num_queries=6)
+        updates = _random_stream(rng, num_updates=80, deletion_rate=0.3)
+        fallback = _FallbackNaive()
+        native = NaiveEngine()
+        for engine in (fallback, native):
+            engine.register_all(queries)
+        for start in range(0, len(updates), 7):
+            window = updates[start : start + 7]
+            assert fallback.on_batch(window) == native.on_batch(window)
+        assert fallback.satisfied_queries() == native.satisfied_queries()
+
+
+class TestDeletionHotPath:
+    def test_counting_deletions_never_rebuild_subtrees(self, monkeypatch):
+        engine = TRICPlusEngine()
+        rng, queries = _random_workload(seed=21, num_queries=6)
+        engine.register_all(queries)
+
+        def _no_rebuild(*args, **kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("counting deletions must not rebuild sub-tries")
+
+        monkeypatch.setattr(engine, "_rebuild_subtree", _no_rebuild)
+        monkeypatch.setattr(engine._join_cache, "clear", _no_rebuild)
+        for update in _random_stream(rng, num_updates=120, deletion_rate=0.4):
+            engine.on_update(update)
+
+    def test_binding_cache_survives_deletions(self):
+        engine = TRICPlusEngine()
+        rng, queries = _random_workload(seed=23, num_queries=6)
+        engine.register_all(queries)
+        updates = _random_stream(rng, num_updates=80, deletion_rate=0.0)
+        for update in updates:
+            engine.on_update(update)
+        populated = len(engine._binding_cache)
+        edge = updates[0].edge
+        engine.on_update(delete(edge.label, edge.source, edge.target))
+        assert len(engine._binding_cache) >= populated  # patched, not cleared
+
+    @pytest.mark.parametrize("factory", [TRICEngine, TRICPlusEngine])
+    def test_rebuild_strategy_agrees_with_counting(self, factory):
+        rng, queries = _random_workload(seed=31, num_queries=8)
+        updates = _random_stream(rng, num_updates=100, deletion_rate=0.3)
+        counting = factory()
+        rebuild = factory(deletion_strategy="rebuild")
+        for engine in (counting, rebuild):
+            engine.register_all(queries)
+        for update in updates:
+            assert counting.on_update(update) == rebuild.on_update(update)
+        for query in queries:
+            assert counting.matches_of(query.query_id) == rebuild.matches_of(query.query_id)
+
+    def test_unknown_deletion_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            TRICEngine(deletion_strategy="wipe")
+
+
+class TestBatchedStreamRunner:
+    def test_batched_replay_processes_every_update(self, checkin_query, checkin_stream):
+        runner = StreamRunner(TRICPlusEngine(), batch_size=3)
+        runner.index_queries([checkin_query])
+        result = runner.replay(checkin_stream)
+        assert result.completed
+        assert result.batch_size == 3
+        assert result.updates_processed == len(checkin_stream)
+        # ceil(4 / 3) == 2 micro-batches were timed.
+        assert result.answering.count == 2
+        assert result.matches_emitted == 1
+        assert result.as_dict()["batch_size"] == 3
+
+    def test_batched_replay_notifies_listeners_once_per_batch(self, checkin_query, checkin_stream):
+        received = []
+        runner = StreamRunner(
+            TRICEngine(),
+            batch_size=len(checkin_stream),
+            listeners=[lambda update, matched: received.append((update, matched))],
+        )
+        runner.index_queries([checkin_query])
+        runner.replay(checkin_stream)
+        assert len(received) == 1
+        update, matched = received[0]
+        assert matched == frozenset({"checkin"})
+        assert update == list(checkin_stream)[-1]
+
+    def test_batched_and_per_update_replays_agree_on_matches(self):
+        rng, queries = _random_workload(seed=41, num_queries=6)
+        updates = _random_stream(rng, num_updates=90, deletion_rate=0.2)
+        results = {}
+        for batch_size in (1, 16):
+            engine = TRICPlusEngine()
+            runner = StreamRunner(engine, batch_size=batch_size)
+            runner.index_queries(queries)
+            runner.replay(updates)
+            results[batch_size] = engine.satisfied_queries()
+        assert results[1] == results[16]
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            StreamRunner(TRICEngine(), batch_size=0)

@@ -37,6 +37,16 @@ class TestQueryManagement:
         with pytest.raises(UnknownQueryError):
             engine.matches_of("missing")
 
+    def test_queries_is_a_live_read_only_view(self, engine, checkin_query, paper_fig4_queries):
+        view = engine.queries
+        with pytest.raises(TypeError):
+            view["nope"] = checkin_query
+        # The proxy is live: registrations made after it was obtained show up.
+        engine.register(checkin_query)
+        assert "checkin" in view
+        engine.register_all(paper_fig4_queries)
+        assert set(view) == {"checkin", "Q1", "Q2", "Q3", "Q4"}
+
 
 class TestStreamConsumption:
     def test_process_returns_per_update_answers(self, engine, checkin_query, checkin_stream):
@@ -74,3 +84,31 @@ class TestStreamConsumption:
         stream = GraphStream([add("knows", "a", "b")])
         assert engine.process(stream) == [frozenset()]
         assert engine.process([add("checksIn", "a", "rio")]) == [frozenset()]
+
+
+class TestBatchConsumption:
+    def test_on_batch_reports_the_batch_union(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        assert engine.on_batch(list(checkin_stream)) == frozenset({"checkin"})
+        assert engine.updates_processed == len(checkin_stream)
+        assert engine.satisfied_queries() == {"checkin"}
+
+    def test_on_batch_splits_mixed_runs(self, engine):
+        engine.register(QueryBuilder("q1").edge("a", "?x", "?y").build())
+        notified = engine.on_batch(
+            [add("a", "1", "2"), delete("a", "1", "2"), add("a", "3", "4")]
+        )
+        # q1 matched (twice) and was invalidated in between; the batch
+        # reports the union of the per-update notifications.
+        assert notified == frozenset({"q1"})
+        assert engine.satisfied_queries() == {"q1"}
+
+    def test_process_batches_matches_per_update_union(self, engine, checkin_query, checkin_stream):
+        engine.register(checkin_query)
+        answers = engine.process_batches(checkin_stream, batch_size=2)
+        assert len(answers) == 2
+        assert answers == [frozenset(), frozenset({"checkin"})]
+
+    def test_process_batches_rejects_bad_batch_size(self, engine):
+        with pytest.raises(ValueError):
+            engine.process_batches([], batch_size=0)

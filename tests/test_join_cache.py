@@ -34,13 +34,44 @@ class TestJoinCache:
         assert cache.statistics.incremental_patches == 1
         assert cache.statistics.rebuilds == 0
 
-    def test_removal_forces_rebuild(self):
+    def test_removal_patches_the_index(self):
         cache = JoinCache()
         relation = Relation(("s", "t"), [("a", "b"), ("a", "c")])
         cache.build_index(relation, (0,))
-        relation.discard(("a", "b"))
+        relation.remove(("a", "b"))
         index = cache.build_index(relation, (0,))
         assert index[("a",)] == [("a", "c")]
+        assert cache.statistics.removal_patches == 1
+        assert cache.statistics.rebuilds == 0
+
+    def test_removing_the_last_row_of_a_bucket_drops_the_bucket(self):
+        cache = JoinCache()
+        relation = Relation(("s", "t"), [("a", "b"), ("x", "y")])
+        cache.build_index(relation, (0,))
+        relation.remove(("a", "b"))
+        index = cache.build_index(relation, (0,))
+        assert ("a",) not in index
+        assert index[("x",)] == [("x", "y")]
+
+    def test_interleaved_add_and_remove_patch_in_order(self):
+        cache = JoinCache()
+        relation = Relation(("s", "t"), [("a", "b")])
+        cache.build_index(relation, (0,))
+        relation.add(("a", "c"))
+        relation.remove(("a", "c"))
+        relation.remove(("a", "b"))
+        relation.add(("a", "b"))
+        index = cache.build_index(relation, (0,))
+        assert index[("a",)] == [("a", "b")]
+        assert cache.statistics.rebuilds == 0
+
+    def test_wholesale_replacement_forces_rebuild(self):
+        cache = JoinCache()
+        relation = Relation(("s", "t"), [("a", "b"), ("a", "c")])
+        cache.build_index(relation, (0,))
+        relation.replace_rows([("x", "y")])
+        index = cache.build_index(relation, (0,))
+        assert index == {("x",): [("x", "y")]}
         assert cache.statistics.rebuilds == 1
 
     def test_different_key_columns_use_different_entries(self):

@@ -10,7 +10,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import NaiveEngine, TRICEngine, TRICPlusEngine, add
+from repro import NaiveEngine, TRICEngine, TRICPlusEngine, add, delete
 from repro.baselines.inc import INCPlusEngine
 from repro.baselines.inv import INVEngine
 from repro.graph import Edge, Graph
@@ -53,6 +53,34 @@ edge_streams = st.lists(
     min_size=1,
     max_size=25,
 )
+
+
+@st.composite
+def mixed_update_streams(draw):
+    """Interleaved additions and deletions; deletions retract live edges."""
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(min_value=0, max_value=2**16),
+                st.sampled_from(LABELS),
+                st.sampled_from(VERTICES),
+                st.sampled_from(VERTICES),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    live, updates = [], []
+    for is_deletion, pick, label, source, target in events:
+        if is_deletion and live:
+            edge = live.pop(pick % len(live))
+            updates.append(delete(edge.label, edge.source, edge.target))
+        else:
+            update = add(label, source, target)
+            live.append(update.edge)
+            updates.append(update)
+    return updates
 
 
 # ----------------------------------------------------------------------
@@ -159,6 +187,56 @@ class TestEngineEquivalenceProperties:
                 for assignment in engine.matches_of(pattern.query_id)
             }
             assert actual == expected
+
+
+class TestDeletionAndBatchingProperties:
+    """The unified delta pipeline's core properties.
+
+    For any query set and any interleaved add/delete stream, (1) the
+    counting-based incremental engines agree with the naive oracle update by
+    update, and (2) driving an engine through micro-batches of any size is
+    answer-equivalent to driving it per update.
+    """
+
+    @given(st.lists(connected_patterns(), min_size=1, max_size=3), mixed_update_streams())
+    @settings(max_examples=20, deadline=None)
+    def test_counting_deletions_agree_with_the_oracle(self, patterns, updates):
+        patterns = _unique_ids(patterns)
+        tric, tric_plus, oracle = TRICEngine(), TRICPlusEngine(), NaiveEngine()
+        for engine in (tric, tric_plus, oracle):
+            engine.register_all(patterns)
+        for update in updates:
+            expected = oracle.on_update(update)
+            assert tric.on_update(update) == expected
+            assert tric_plus.on_update(update) == expected
+        assert tric.satisfied_queries() == oracle.satisfied_queries()
+        assert tric_plus.satisfied_queries() == oracle.satisfied_queries()
+        for pattern in patterns:
+            expected = oracle.matches_of(pattern.query_id)
+            assert tric.matches_of(pattern.query_id) == expected
+            assert tric_plus.matches_of(pattern.query_id) == expected
+
+    @given(
+        st.lists(connected_patterns(), min_size=1, max_size=3),
+        mixed_update_streams(),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_batched_drive_is_answer_equivalent(self, patterns, updates, batch_size):
+        patterns = _unique_ids(patterns)
+        for factory in (TRICPlusEngine, NaiveEngine):
+            per_update, batched = factory(), factory()
+            for engine in (per_update, batched):
+                engine.register_all(patterns)
+            for start in range(0, len(updates), batch_size):
+                window = updates[start : start + batch_size]
+                union = frozenset().union(*(per_update.on_update(u) for u in window))
+                assert batched.on_batch(window) == union
+            assert batched.satisfied_queries() == per_update.satisfied_queries()
+            for pattern in patterns:
+                assert batched.matches_of(pattern.query_id) == per_update.matches_of(
+                    pattern.query_id
+                )
 
 
 def _unique_ids(patterns):

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.matching.relation import Relation, extend_path_rows, natural_join
+from repro.matching.relation import CountedRelation, Relation, extend_path_rows, natural_join
 
 
 class TestRelationBasics:
@@ -47,8 +47,9 @@ class TestRelationBasics:
         v0 = relation.version
         relation.add(("x",))
         assert relation.version > v0
+        v1 = relation.version
         relation.discard(("x",))
-        assert relation.last_removal_version == relation.version
+        assert relation.version > v1
 
     def test_append_log(self):
         relation = Relation(("a",))
@@ -69,6 +70,96 @@ class TestRelationBasics:
         clone = relation.copy()
         clone.add(("y",))
         assert len(relation) == 1
+
+
+class TestDeltaLog:
+    def test_removals_are_logged_with_negative_sign(self):
+        relation = Relation(("a",), [("x",)])
+        mark = relation.log_length
+        relation.add(("y",))
+        relation.remove(("x",))
+        assert list(relation.deltas_since(mark)) == [(("y",), 1), (("x",), -1)]
+        assert relation.appended_since(mark) == [("y",)]
+
+    def test_remove_all_reports_only_removed_rows(self):
+        relation = Relation(("a",), [("x",), ("y",)])
+        removed = relation.remove_all([("x",), ("z",), ("x",)])
+        assert removed == [("x",)]
+        assert relation.rows == {("y",)}
+
+    def test_log_positions_stay_valid_across_removals(self):
+        relation = Relation(("a",))
+        relation.add(("x",))
+        mark = relation.log_length
+        relation.remove(("x",))
+        relation.add(("z",))
+        assert list(relation.deltas_since(mark)) == [(("x",), -1), (("z",), 1)]
+
+    def test_churn_compacts_the_log_instead_of_growing_it(self):
+        relation = Relation(("a",))
+        epoch = relation.epoch
+        # Add/remove cycles grow the log without growing the row set; the
+        # relation must eventually snapshot-reset it (with an epoch bump)
+        # rather than retaining one entry per mutation forever.
+        for i in range(500):
+            row = (f"x{i}",)
+            relation.add(row)
+            relation.remove(row)
+        assert relation.log_length < 100
+        assert relation.epoch > epoch
+        assert relation.rows == set()
+
+    def test_wholesale_operations_bump_the_epoch(self):
+        relation = Relation(("a",), [("x",)])
+        epoch = relation.epoch
+        relation.replace_rows([("y",)])
+        assert relation.epoch == epoch + 1
+        relation.clear()
+        assert relation.epoch == epoch + 2
+        assert relation.log_length == 0
+
+
+class TestCountedRelation:
+    def test_row_appears_on_first_support(self):
+        relation = CountedRelation(("a",))
+        assert relation.add(("x",))
+        assert not relation.add(("x",))
+        assert relation.support(("x",)) == 2
+        assert relation.rows == {("x",)}
+
+    def test_row_disappears_with_last_support(self):
+        relation = CountedRelation(("a",), [("x",), ("x",)])
+        assert not relation.remove(("x",))
+        assert ("x",) in relation
+        assert relation.remove(("x",))
+        assert len(relation) == 0
+        assert relation.support(("x",)) == 0
+
+    def test_removing_unsupported_row_is_a_noop(self):
+        relation = CountedRelation(("a",))
+        assert not relation.remove(("x",))
+
+    def test_visibility_changes_are_logged_once(self):
+        relation = CountedRelation(("a",))
+        relation.add(("x",))
+        relation.add(("x",))
+        relation.remove(("x",))
+        relation.remove(("x",))
+        assert list(relation.deltas_since(0)) == [(("x",), 1), (("x",), -1)]
+
+    def test_discard_drops_all_support(self):
+        relation = CountedRelation(("a",), [("x",), ("x",)])
+        assert relation.discard(("x",))
+        assert relation.support(("x",)) == 0
+        assert len(relation) == 0
+
+    def test_replace_rows_recounts_support(self):
+        relation = CountedRelation(("a",), [("x",)])
+        relation.replace_rows([("y",), ("y",)])
+        assert relation.rows == {("y",)}
+        assert relation.support(("y",)) == 2
+        assert not relation.remove(("y",))
+        assert relation.remove(("y",))
 
 
 class TestRelationalOperators:
