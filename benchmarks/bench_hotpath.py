@@ -1,0 +1,374 @@
+"""Hot-path benchmark: interned vertices + maintained adjacency indexes.
+
+The seed implementation paid two avoidable costs on every probe of the
+matching layer: vertex tuples carried full identifier strings, and the
+prefix/edge-view hash indexes behind ``extend_path_rows`` and
+``_delta_against_parent`` were rebuilt from the full view whenever no
+:class:`JoinCache` was active (and the cache itself re-bucketed raw string
+tuples).  The current pipeline dictionary-encodes the vertex universe at the
+stream boundary and keeps every index *maintained* — patched in place by the
+relation's own mutations, never rebuilt — so each probe is O(bucket).
+
+This benchmark replays the same workloads through the current engines and
+through ``Legacy*`` engine subclasses that reproduce the seed behaviour
+exactly (``NullInterner`` string rows + per-call index builds + JoinCache),
+asserts answer equivalence, and writes the measured throughputs to
+``BENCH_hotpath.json`` at the repository root so later PRs have a
+performance trajectory.
+
+Run directly (the file name keeps it out of the default tier-1 collection)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.bench.configs import bench_scale_from_env
+from repro.bench.experiments import build_stream, build_workload
+from repro.core.tric import TRICEngine
+from repro.graph.interning import NullInterner
+from repro.graph.elements import Update, delete
+from repro.matching.plans import bindings_to_dicts
+from repro.matching.relation import Relation, Row, build_row_index
+from repro.matching.views import EDGE_VIEW_SCHEMA, EdgeViewRegistry
+from repro.query.generator import QueryWorkload
+from repro.streams import StreamRunner
+from repro.streams.report import format_table
+
+#: Where the committed performance trajectory lives (repository root).
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_hotpath.json"
+
+#: Default scale (overridable via ``REPRO_BENCH_SCALE``).  The hot-path
+#: asymmetry only shows once the graph has real density: below ~0.3 the
+#: views are so small that fixed per-update overheads dominate both sides.
+DEFAULT_SCALE = 0.5
+
+#: Deletion-heavy workload shape (mirrors benchmarks/bench_deletions.py).
+DELETION_PRESSURE = 0.45
+WARMUP_EDGES = 50
+
+#: Ceiling for the deletion-heavy comparison: the *legacy* invalidation
+#: path re-materialises every affected query's full answer set per
+#: deletion, which grows combinatorially with graph density — above this
+#: scale the seed side alone runs for hours.  The no-regression property
+#: being asserted is scale-insensitive, so the deletion workload is capped
+#: while the addition workload runs at full requested scale.
+DELETION_SCALE_CAP = 0.25
+
+
+# ----------------------------------------------------------------------
+# Legacy engines: the seed hot path, byte for byte
+# ----------------------------------------------------------------------
+class _LegacyEdgeViewRegistry(EdgeViewRegistry):
+    """Seed-style registry: no birth-time adjacency indexes on the views."""
+
+    def register(self, key):
+        view = self._views.get(key)
+        if view is None:
+            view = Relation(EDGE_VIEW_SCHEMA)
+            self._views[key] = view
+            self._keys_by_label.setdefault(key.label, set()).add(key)
+        return view
+
+
+class LegacyTRICEngine(TRICEngine):
+    """TRIC with the seed probe strategy and the string vertex pipeline.
+
+    Every overridden method is the seed implementation verbatim: hash
+    indexes over prefix/edge views are rebuilt per call (or fetched from the
+    JoinCache when caching is enabled), and rows carry raw identifier
+    strings via :class:`NullInterner`.
+    """
+
+    name = "TRIC(legacy)"
+
+    def __init__(self, *, cache: bool = False, **kwargs) -> None:
+        super().__init__(cache=cache, **kwargs)
+        self._views = _LegacyEdgeViewRegistry(interner=NullInterner())
+
+    def _extend_rows(self, rows, base):
+        if self._join_cache is not None:
+            index = self._join_cache.build_index(base, (0,))
+        else:
+            index = build_row_index(base.rows, (0,))
+        extended: List[Row] = []
+        for row in rows:
+            bucket = index.get((row[-1],))
+            if bucket:
+                extended.extend(row + (base_row[1],) for base_row in bucket)
+        return extended
+
+    def _delta_against_parent(self, node, new_rows):
+        parent_view = node.parent.view
+        last_position = parent_view.arity - 1
+        if self._join_cache is not None:
+            index = self._join_cache.build_index(parent_view, (last_position,))
+        elif len(new_rows) > 1:
+            index = build_row_index(parent_view.rows, (last_position,))
+        else:
+            source, target = new_rows[0]
+            return [
+                parent_row + (target,)
+                for parent_row in parent_view.rows
+                if parent_row[-1] == source
+            ]
+        delta: List[Row] = []
+        for source, target in new_rows:
+            bucket = index.get((source,))
+            if bucket:
+                delta.extend(parent_row + (target,) for parent_row in bucket)
+        return delta
+
+    def _direct_dead_rows(self, node, removed_rows):
+        position = node.depth - 1
+        view = node.view
+        if self._join_cache is not None:
+            index = self._join_cache.build_index(view, (position, position + 1))
+            dead: List[Row] = []
+            for pair in removed_rows:
+                dead.extend(index.get(pair, ()))
+            return dead
+        return [
+            row for row in view.rows if (row[position], row[position + 1]) in removed_rows
+        ]
+
+    def _propagate_removals(self, node, removed, affected_queries):
+        removed_prefixes = set(removed)
+        for child in node.children:
+            child_view = child.view
+            if not child_view:
+                continue
+            if self._join_cache is not None:
+                prefix_positions = tuple(range(child_view.arity - 1))
+                index = self._join_cache.build_index(child_view, prefix_positions)
+                dead: List[Row] = []
+                for prefix in removed_prefixes:
+                    dead.extend(index.get(prefix, ()))
+            else:
+                dead = [row for row in child_view.rows if row[:-1] in removed_prefixes]
+            child_removed = child_view.remove_all(dead)
+            if not child_removed:
+                continue
+            affected_queries.update(query_id for query_id, _ in child.query_paths)
+            self._propagate_removals(child, child_removed, affected_queries)
+
+    def _evaluate_affected(self, affected):
+        matched = set()
+        for query_id, deltas in affected.items():
+            plan = self._plans[query_id]
+            terminals = self._terminals[query_id]
+            full_rows = [terminal.view.rows for terminal in terminals]
+            binding_relations = (
+                self._refresh_binding_relations(query_id) if self.cache_enabled else None
+            )
+            new_bindings = plan.evaluate_delta(
+                deltas,
+                full_rows,
+                join_cache=self._join_cache,
+                binding_relations=binding_relations,
+                injective=self.injective,
+            )
+            if new_bindings:
+                matched.add(query_id)
+        return frozenset(matched)
+
+    def matches_of(self, query_id):
+        self._require_known(query_id)
+        plan = self._plans[query_id]
+        terminals = self._terminals[query_id]
+        full_rows = [terminal.view.rows for terminal in terminals]
+        binding_relations = (
+            self._refresh_binding_relations(query_id) if self.cache_enabled else None
+        )
+        bindings = plan.evaluate_full(
+            full_rows,
+            join_cache=self._join_cache,
+            binding_relations=binding_relations,
+            injective=self.injective,
+        )
+        return bindings_to_dicts(bindings)
+
+
+class LegacyTRICPlusEngine(LegacyTRICEngine):
+    """Seed TRIC+: legacy probes backed by the JoinCache."""
+
+    name = "TRIC+(legacy)"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(cache=True, **kwargs)
+
+
+_FACTORIES = {
+    ("TRIC", "legacy"): LegacyTRICEngine,
+    ("TRIC", "current"): TRICEngine,
+    ("TRIC+", "legacy"): LegacyTRICPlusEngine,
+    ("TRIC+", "current"): lambda: TRICEngine(cache=True),
+}
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def _addition_heavy_workload(scale: float) -> tuple[List[Update], QueryWorkload]:
+    """A fig12a-style SNB addition stream with the paper's baseline knobs."""
+    num_updates = max(400, int(8_000 * scale))
+    stream = build_stream("snb", num_updates, seed=17)
+    workload = build_workload(
+        stream,
+        num_queries=max(20, int(400 * scale)),
+        avg_edges=5,
+        selectivity=0.25,
+        overlap=0.35,
+        seed=18,
+    )
+    return list(stream), workload
+
+
+def _deletion_heavy_workload(scale: float) -> tuple[List[Update], QueryWorkload]:
+    """The addition stream interleaved with ~45 % deletions after warm-up."""
+    additions, workload = _addition_heavy_workload(scale)
+    rng = random.Random(7)
+    live: List = []
+    updates: List[Update] = []
+    for update in additions:
+        updates.append(update)
+        live.append(update.edge)
+        if len(live) > WARMUP_EDGES and rng.random() < DELETION_PRESSURE:
+            edge = live.pop(rng.randrange(len(live)))
+            updates.append(delete(edge.label, edge.source, edge.target))
+    return updates, workload
+
+
+def _replay(factory, updates: Sequence[Update], workload, *, repeats: int = 3):
+    """Best-of-N replay on fresh engines; returns (seconds, satisfied ids)."""
+    best, satisfied = float("inf"), frozenset()
+    for _ in range(repeats):
+        engine = factory()
+        runner = StreamRunner(engine)
+        runner.index_queries(workload.queries)
+        start = time.perf_counter()
+        runner.replay(updates)
+        best = min(best, time.perf_counter() - start)
+        satisfied = engine.satisfied_queries()
+    return best, satisfied
+
+
+def _measure(updates, workload, *, repeats: int) -> Dict[str, Dict[str, float]]:
+    """legacy-vs-current timings for TRIC and TRIC+ on one workload."""
+    results: Dict[str, Dict[str, float]] = {}
+    for engine_name in ("TRIC", "TRIC+"):
+        timings = {}
+        satisfied = {}
+        for variant in ("legacy", "current"):
+            elapsed, sat = _replay(
+                _FACTORIES[(engine_name, variant)], updates, workload, repeats=repeats
+            )
+            timings[variant] = elapsed
+            satisfied[variant] = sat
+        # The legacy pipeline must agree with the current one, answer for answer.
+        assert satisfied["legacy"] == satisfied["current"], engine_name
+        results[engine_name] = {
+            "legacy_s": round(timings["legacy"], 4),
+            "current_s": round(timings["current"], 4),
+            "legacy_updates_per_s": round(len(updates) / timings["legacy"], 1),
+            "current_updates_per_s": round(len(updates) / timings["current"], 1),
+            "speedup": round(timings["legacy"] / timings["current"], 2),
+        }
+    return results
+
+
+def _print_results(title: str, num_updates: int, results: Dict[str, Dict[str, float]]) -> None:
+    rows = [
+        (
+            name,
+            f"{r['legacy_s']:.3f}",
+            f"{r['current_s']:.3f}",
+            f"{r['current_updates_per_s']:.0f}",
+            f"{r['speedup']:.2f}x",
+        )
+        for name, r in results.items()
+    ]
+    print()
+    print(f"{title} ({num_updates} updates)")
+    print(format_table(("engine", "legacy (s)", "current (s)", "updates/s", "speedup"), rows))
+
+
+def _write_json(payload: Dict) -> None:
+    existing = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            existing = {}
+    existing.update(payload)
+    RESULT_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Benchmarks (pytest entry points)
+# ----------------------------------------------------------------------
+def _repeats_for(scale: float) -> int:
+    """Best-of-3 at smoke scales (noise), single run once the gap is wide."""
+    return 3 if scale < 0.3 else 1
+
+
+def test_addition_hot_path_beats_the_seed():
+    """Interned + indexed probes are >=2x the seed throughput on additions."""
+    scale = bench_scale_from_env(default=DEFAULT_SCALE)
+    updates, workload = _addition_heavy_workload(scale)
+    results = _measure(updates, workload, repeats=_repeats_for(scale))
+    _print_results("addition-heavy SNB stream (fig12a-style)", len(updates), results)
+    _write_json(
+        {
+            "additions_fig12a": {
+                "scale": scale,
+                "num_updates": len(updates),
+                "num_queries": len(workload.queries),
+                "engines": results,
+            }
+        }
+    )
+    # The >=2x claim holds from ~scale 0.3 upward (the committed
+    # BENCH_hotpath.json is generated at the default scale, where the gap
+    # is an order of magnitude).  At CI smoke scales the views are tiny and
+    # fixed per-update overheads flatten the ratio, so only answer
+    # equivalence plus no-regression is asserted there.
+    floor = 2.0 if scale >= 0.3 else 1.0
+    for engine_name, r in results.items():
+        assert r["speedup"] >= floor, (
+            f"{engine_name}: addition-heavy speedup {r['speedup']:.2f}x < {floor}x "
+            f"(legacy {r['legacy_s']:.3f}s vs current {r['current_s']:.3f}s)"
+        )
+
+
+def test_deletion_hot_path_does_not_regress():
+    """Deletion-heavy streams must not regress vs the seed pipeline (<5 %)."""
+    scale = min(bench_scale_from_env(default=DEFAULT_SCALE), DELETION_SCALE_CAP)
+    updates, workload = _deletion_heavy_workload(scale)
+    num_deletions = sum(1 for update in updates if update.is_deletion)
+    results = _measure(updates, workload, repeats=_repeats_for(scale))
+    _print_results(
+        f"deletion-heavy SNB stream ({num_deletions} deletions)", len(updates), results
+    )
+    _write_json(
+        {
+            "deletions": {
+                "scale": scale,
+                "num_updates": len(updates),
+                "num_deletions": num_deletions,
+                "num_queries": len(workload.queries),
+                "engines": results,
+            }
+        }
+    )
+    for engine_name, r in results.items():
+        assert r["current_s"] <= r["legacy_s"] * 1.05, (
+            f"{engine_name}: deletion-heavy path regressed "
+            f"(legacy {r['legacy_s']:.3f}s vs current {r['current_s']:.3f}s)"
+        )

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Set
 
+from ..graph.interning import VertexInterner
 from ..matching.plans import PathPlan, QueryEvaluationPlan
 from ..matching.relation import Row, extend_path_rows
 from ..query.terms import EdgeKey
@@ -66,7 +67,6 @@ class INCEngine(INVEngine):
         new_bindings = plan.evaluate_delta(
             deltas,
             full_rows,
-            join_cache=self._join_cache,
             injective=self.injective,
         )
         return bool(new_bindings)
@@ -86,21 +86,27 @@ class INCEngine(INVEngine):
             if not partial_rows:
                 return set()
             partial_rows = extend_path_rows(
-                partial_rows, self._views.view(key), cache=self._join_cache, direction="forward"
+                partial_rows, self._views.view(key), direction="forward"
             )
         for key in reversed(keys[:position]):
             if not partial_rows:
                 return set()
             partial_rows = extend_path_rows(
-                partial_rows, self._views.view(key), cache=self._join_cache, direction="backward"
+                partial_rows, self._views.view(key), direction="backward"
             )
         return set(partial_rows)
 
 
 class INCPlusEngine(INCEngine):
-    """INC+ — INC with cached hash-join build structures."""
+    """INC+ — INC with cached hash-join build structures.
+
+    Like INV+, the cached build structures are subsumed by the maintained
+    adjacency indexes; the variant is kept for CLI / report compatibility.
+    """
 
     name = "INC+"
 
-    def __init__(self, *, injective: bool = False) -> None:
-        super().__init__(cache=True, injective=injective)
+    def __init__(
+        self, *, injective: bool = False, interner: VertexInterner | None = None
+    ) -> None:
+        super().__init__(cache=True, injective=injective, interner=interner)

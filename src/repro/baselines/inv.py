@@ -22,7 +22,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tupl
 
 from ..core.engine import ContinuousEngine
 from ..graph.elements import Edge
-from ..matching.cache import JoinCache
+from ..graph.interning import VertexInterner
 from ..matching.plans import PathPlan, QueryEvaluationPlan, bindings_to_dicts
 from ..matching.relation import Row, extend_path_rows
 from ..matching.views import EdgeViewRegistry
@@ -33,14 +33,26 @@ __all__ = ["INVEngine", "INVPlusEngine"]
 
 
 class INVEngine(ContinuousEngine):
-    """Inverted-index baseline with full path re-materialization per update."""
+    """Inverted-index baseline with full path re-materialization per update.
+
+    The ``cache`` flag historically enabled the INV+ cached hash-join build
+    structures; those are now subsumed by the base views' maintained
+    adjacency indexes (always on), so the flag only survives in
+    :meth:`describe` for report compatibility.
+    """
 
     name = "INV"
 
-    def __init__(self, *, cache: bool = False, injective: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        cache: bool = False,
+        injective: bool = False,
+        interner: VertexInterner | None = None,
+    ) -> None:
         super().__init__(injective=injective)
         self.cache_enabled = cache
-        self._views = EdgeViewRegistry()
+        self._views = EdgeViewRegistry(interner=interner)
         self._plans: Dict[str, QueryEvaluationPlan] = {}
         #: edgeInd — generalised edge key -> query ids using it.
         self._edge_index: Dict[EdgeKey, Set[str]] = {}
@@ -48,13 +60,12 @@ class INVEngine(ContinuousEngine):
         #: generalised keys whose source / target is that term.
         self._source_index: Dict[str, Set[EdgeKey]] = {}
         self._target_index: Dict[str, Set[EdgeKey]] = {}
-        self._join_cache: JoinCache | None = JoinCache() if cache else None
 
     # ------------------------------------------------------------------
     # Indexing phase
     # ------------------------------------------------------------------
     def _index_query(self, pattern: QueryGraphPattern) -> None:
-        plan = QueryEvaluationPlan(pattern)
+        plan = QueryEvaluationPlan(pattern, interner=self._views.interner)
         self._plans[pattern.query_id] = plan
         for key in plan.distinct_keys():
             self._views.register(key)
@@ -106,7 +117,6 @@ class INVEngine(ContinuousEngine):
         new_bindings = plan.evaluate_delta(
             deltas,
             full_rows,
-            join_cache=self._join_cache,
             injective=self.injective,
         )
         return bool(new_bindings)
@@ -127,9 +137,7 @@ class INVEngine(ContinuousEngine):
         for key in keys[1:]:
             if not rows:
                 return set()
-            rows = set(
-                extend_path_rows(rows, self._views.view(key), cache=self._join_cache)
-            )
+            rows = set(extend_path_rows(rows, self._views.view(key)))
         return rows
 
     @staticmethod
@@ -181,10 +189,8 @@ class INVEngine(ContinuousEngine):
         full_rows = self._materialize_paths(plan)
         if full_rows is None:
             return []
-        bindings = plan.evaluate_full(
-            full_rows, join_cache=self._join_cache, injective=self.injective
-        )
-        return bindings_to_dicts(bindings)
+        bindings = plan.evaluate_full(full_rows, injective=self.injective)
+        return bindings_to_dicts(bindings, self._views.interner)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -212,9 +218,16 @@ class INVEngine(ContinuousEngine):
 
 
 class INVPlusEngine(INVEngine):
-    """INV+ — INV with cached hash-join build structures."""
+    """INV+ — INV with cached hash-join build structures.
+
+    With maintained adjacency indexes on every base view the build
+    structures are incrementally patched for both variants, so INV+ now
+    differs from INV in name only (kept for CLI / report compatibility).
+    """
 
     name = "INV+"
 
-    def __init__(self, *, injective: bool = False) -> None:
-        super().__init__(cache=True, injective=injective)
+    def __init__(
+        self, *, injective: bool = False, interner: VertexInterner | None = None
+    ) -> None:
+        super().__init__(cache=True, injective=injective, interner=interner)

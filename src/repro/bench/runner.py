@@ -46,6 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "micro-batches)")
     parser.add_argument("--output", type=Path, default=None,
                         help="directory to write one .txt report per experiment")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each experiment under cProfile and print the top-25 "
+                        "functions by cumulative time (verifies what is on the hot path)")
     return parser
 
 
@@ -100,10 +103,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     for experiment_id in selected:
         print(f"=== running {experiment_id} ===", flush=True)
-        result = run_experiment(experiment_id, scale=args.scale, **overrides)
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            result = run_experiment(experiment_id, scale=args.scale, **overrides)
+            profiler.disable()
+        else:
+            result = run_experiment(experiment_id, scale=args.scale, **overrides)
         report = render_experiment(result)
         print(report)
         print()
+        if args.profile:
+            print(f"--- profile: {experiment_id} (top 25 by cumulative time) ---")
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
         if args.output is not None:
             path = args.output / f"{experiment_id}.txt"
             path.write_text(report + "\n", encoding="utf-8")

@@ -32,9 +32,10 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from ..graph.elements import Edge
+from ..graph.interning import VertexInterner
 from ..matching.cache import JoinCache
 from ..matching.plans import QueryEvaluationPlan, bindings_to_dicts
-from ..matching.relation import CountedRelation, Relation, Row, build_row_index, extend_path_rows
+from ..matching.relation import CountedRelation, Relation, Row, extend_path_rows
 from ..matching.views import EdgeViewRegistry
 from ..query.pattern import QueryGraphPattern
 from ..query.terms import EdgeKey
@@ -53,9 +54,12 @@ class TRICEngine(ContinuousEngine):
     Parameters
     ----------
     cache:
-        Enable the TRIC+ caching strategy: hash-join build structures and
-        per-path binding relations are retained and patched incrementally
-        instead of being rebuilt on every update.
+        Historical TRIC+ flag.  The structures it used to gate — hash-join
+        build tables and per-path binding relations — are now maintained
+        incrementally for every variant (the relations' own maintained
+        indexes and the counted binding tables), so the flag only survives
+        in :meth:`describe` and keeps the legacy ``rebuild`` deletion
+        strategy's :class:`JoinCache` alive for comparison benchmarks.
     injective:
         Require injective (isomorphism) answer semantics.
     deletion_strategy:
@@ -63,6 +67,11 @@ class TRICEngine(ContinuousEngine):
         negative deltas and keeps every cache warm; ``"rebuild"`` is the
         legacy strategy that rebuilds affected sub-tries from the base views
         and drops the caches (kept for comparison benchmarks).
+    interner:
+        Vertex encoding used by the base views (dictionary-encoded dense
+        ints by default; benchmarks inject a
+        :class:`~repro.graph.interning.NullInterner` to replay the string
+        pipeline, and callers may share one interner across engines).
     """
 
     name = "TRIC"
@@ -73,6 +82,7 @@ class TRICEngine(ContinuousEngine):
         cache: bool = False,
         injective: bool = False,
         deletion_strategy: str = "counting",
+        interner: VertexInterner | None = None,
     ) -> None:
         super().__init__(injective=injective)
         if deletion_strategy not in ("counting", "rebuild"):
@@ -80,23 +90,28 @@ class TRICEngine(ContinuousEngine):
         self.cache_enabled = cache
         self.deletion_strategy = deletion_strategy
         self._forest = TrieForest()
-        self._views = EdgeViewRegistry()
+        self._views = EdgeViewRegistry(interner=interner)
         self._plans: Dict[str, QueryEvaluationPlan] = {}
         self._terminals: Dict[str, List[TrieNode]] = {}
+        # Retained for the legacy ``rebuild`` deletion strategy and for
+        # backwards compatibility; the probe hot paths now go through the
+        # relations' own maintained indexes instead.
         self._join_cache: JoinCache | None = JoinCache() if cache else None
-        # (query id, path index) -> (terminal-view log position, terminal-view
-        # epoch, cached counted binding relation).  The cached relation is
-        # patched by replaying the terminal view's signed delta log — support
-        # counts absorb both appended and removed positional rows — and its
-        # identity stays stable so the join cache can keep reusing its
-        # build-side hash tables.
-        self._binding_cache: Dict[Tuple[str, int], Tuple[int, int, CountedRelation]] = {}
+        # query id -> (terminal views, counted binding relations, log
+        # positions, epochs) as parallel per-covering-path lists.  Each
+        # relation is patched by replaying its terminal view's signed delta
+        # log — support counts absorb both appended and removed positional
+        # rows — and its identity stays stable so its maintained indexes
+        # keep being reused by the delta joins.
+        self._binding_cache: Dict[
+            str, Tuple[List[Relation], List[CountedRelation], List[int], List[int]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Indexing phase (paper Fig. 5)
     # ------------------------------------------------------------------
     def _index_query(self, pattern: QueryGraphPattern) -> None:
-        plan = QueryEvaluationPlan(pattern)
+        plan = QueryEvaluationPlan(pattern, interner=self._views.interner)
         query_id = pattern.query_id
         self._plans[query_id] = plan
         terminals: List[TrieNode] = []
@@ -126,10 +141,10 @@ class TRICEngine(ContinuousEngine):
         for node in chain:
             base = self._views.view(node.key)
             if node.is_root:
-                rows: Iterable[Row] = set(base.rows)
+                rows: Set[Row] = set(base.rows)
             else:
-                rows = self._extend_rows(node.parent.view.rows, base)
-            if set(rows) != node.view.rows:
+                rows = set(self._extend_rows(node.parent.view.rows, base))
+            if rows != node.view.rows:
                 node.view.replace_rows(rows)
 
     # ------------------------------------------------------------------
@@ -179,27 +194,16 @@ class TRICEngine(ContinuousEngine):
 
         Joins the parent's prefix view with the new base tuples of the
         node's key: rows of the parent whose last vertex equals a new
-        tuple's source, extended with that tuple's target.  With caching
-        enabled the parent view's build-side index (keyed by its last
-        column) is cached and patched; without caching a throwaway index is
-        built once per batch when the batch is large enough to amortize it.
+        tuple's source, extended with that tuple's target.  The probe goes
+        through the parent view's maintained last-column index — created on
+        first use, patched by the view's own mutations from then on — so the
+        cost is O(|delta| x bucket), never O(|parent view|).
         """
         parent_view = node.parent.view
-        last_position = parent_view.arity - 1
-        if self._join_cache is not None:
-            index = self._join_cache.build_index(parent_view, (last_position,))
-        elif len(new_rows) > 1:
-            index = build_row_index(parent_view.rows, (last_position,))
-        else:
-            source, target = new_rows[0]
-            return [
-                parent_row + (target,)
-                for parent_row in parent_view.rows
-                if parent_row[-1] == source
-            ]
+        lookup = parent_view.index_map((parent_view.arity - 1,)).get
         delta: List[Row] = []
         for source, target in new_rows:
-            bucket = index.get((source,))
+            bucket = lookup((source,))
             if bucket:
                 delta.extend(parent_row + (target,) for parent_row in bucket)
         return delta
@@ -221,7 +225,7 @@ class TRICEngine(ContinuousEngine):
 
     def _extend_rows(self, rows: Iterable[Row], base: Relation) -> List[Row]:
         """Join prefix rows with a base edge view on ``last column == source``."""
-        return extend_path_rows(rows, base, cache=self._join_cache, direction="forward")
+        return extend_path_rows(rows, base, direction="forward")
 
     @staticmethod
     def _record_terminal(node: TrieNode, added: Sequence[Row], affected: _AffectedMap) -> None:
@@ -234,19 +238,15 @@ class TRICEngine(ContinuousEngine):
         matched: Set[str] = set()
         for query_id, deltas in affected.items():
             plan = self._plans[query_id]
-            terminals = self._terminals[query_id]
-            full_rows = [terminal.view.rows for terminal in terminals]
-            binding_relations = (
-                self._refresh_binding_relations(query_id) if self.cache_enabled else None
-            )
-            new_bindings = plan.evaluate_delta(
+            # Notifications only need existence: extend each delta binding
+            # across the other paths' maintained binding relations and stop
+            # at the first complete answer (O(delta) probes, no relation
+            # materialisation).
+            if plan.has_new_binding(
                 deltas,
-                full_rows,
-                join_cache=self._join_cache,
-                binding_relations=binding_relations,
+                self._refresh_binding_relations(query_id),
                 injective=self.injective,
-            )
-            if new_bindings:
+            ):
                 matched.add(query_id)
         return frozenset(matched)
 
@@ -296,41 +296,37 @@ class TRICEngine(ContinuousEngine):
 
     def _direct_dead_rows(self, node: TrieNode, removed_rows: Set[Row]) -> List[Row]:
         """Rows of ``node``'s view that use a retracted base tuple at the
-        node's own edge position."""
+        node's own edge position.
+
+        Probes the view's maintained ``(source, target)``-pair index, so the
+        cost is proportional to the retracted tuples' buckets, not the view.
+        """
         position = node.depth - 1
         view = node.view
-        if self._join_cache is not None:
-            index = self._join_cache.build_index(view, (position, position + 1))
-            dead: List[Row] = []
-            for pair in removed_rows:
-                dead.extend(index.get(pair, ()))
-            return dead
-        return [
-            row for row in view.rows if (row[position], row[position + 1]) in removed_rows
-        ]
+        positions = (position, position + 1)
+        dead: List[Row] = []
+        for pair in removed_rows:
+            dead.extend(view.probe(positions, pair))
+        return dead
 
     def _propagate_removals(
         self, node: TrieNode, removed: Sequence[Row], affected_queries: Set[str]
     ) -> None:
         """Push a negative delta down the sub-trie, pruning branches where it dies.
 
-        A child row dies exactly when its parent prefix died; with caching
-        enabled the child view's prefix index is cached and patched, without
-        caching the child view is scanned once per batch.
+        A child row dies exactly when its parent prefix died; the dead rows
+        are found through the child view's maintained prefix index, one
+        bucket per removed prefix.
         """
         removed_prefixes = set(removed)
         for child in node.children:
             child_view = child.view
             if not child_view:
                 continue
-            if self._join_cache is not None:
-                prefix_positions = tuple(range(child_view.arity - 1))
-                index = self._join_cache.build_index(child_view, prefix_positions)
-                dead: List[Row] = []
-                for prefix in removed_prefixes:
-                    dead.extend(index.get(prefix, ()))
-            else:
-                dead = [row for row in child_view.rows if row[:-1] in removed_prefixes]
+            prefix_positions = tuple(range(child_view.arity - 1))
+            dead: List[Row] = []
+            for prefix in removed_prefixes:
+                dead.extend(child_view.probe(prefix_positions, prefix))
             child_removed = child_view.remove_all(dead)
             if not child_removed:
                 continue
@@ -389,51 +385,58 @@ class TRICEngine(ContinuousEngine):
         plan = self._plans[query_id]
         terminals = self._terminals[query_id]
         full_rows = [terminal.view.rows for terminal in terminals]
-        binding_relations = (
-            self._refresh_binding_relations(query_id) if self.cache_enabled else None
-        )
         bindings = plan.evaluate_full(
             full_rows,
-            join_cache=self._join_cache,
-            binding_relations=binding_relations,
+            binding_relations=self._refresh_binding_relations(query_id),
             injective=self.injective,
         )
-        return bindings_to_dicts(bindings)
+        return bindings_to_dicts(bindings, self._views.interner)
 
     # ------------------------------------------------------------------
-    # TRIC+ binding-relation cache
+    # Maintained per-path binding relations (counting-based projection)
     # ------------------------------------------------------------------
-    def _refresh_binding_relations(self, query_id: str) -> List[Relation]:
+    def _refresh_binding_relations(self, query_id: str) -> List[CountedRelation]:
+        state = self._binding_cache.get(query_id)
         plan = self._plans[query_id]
-        terminals = self._terminals[query_id]
-        relations: List[Relation] = []
-        for path_index, (path_plan, terminal) in enumerate(zip(plan.path_plans, terminals)):
-            cache_key = (query_id, path_index)
-            entry = self._binding_cache.get(cache_key)
-            view = terminal.view
-            if entry is not None and entry[1] == view.epoch:
-                log_position, _, cached = entry
-                if log_position < view.log_length:
-                    # Replay the terminal view's signed delta log: appended
-                    # positional rows add support to their binding, removed
-                    # rows retract it, and the binding disappears only when
-                    # its last supporting row dies (counting maintenance).
-                    # The relation object (and therefore its join-cache
-                    # identity) stays stable across both signs.
-                    for row, sign in view.deltas_since(log_position):
-                        binding = path_plan.binding_of_row(row)
-                        if binding is None:
-                            continue
-                        if sign > 0:
-                            cached.add(binding)
-                        else:
-                            cached.remove(binding)
-                    self._binding_cache[cache_key] = (view.log_length, view.epoch, cached)
-                relations.append(cached)
-                continue
-            rebuilt = path_plan.counted_bindings_from_rows(view.rows)
-            self._binding_cache[cache_key] = (view.log_length, view.epoch, rebuilt)
-            relations.append(rebuilt)
+        if state is None:
+            views = [terminal.view for terminal in self._terminals[query_id]]
+            relations = [
+                path_plan.counted_bindings_from_rows(view.rows)
+                for path_plan, view in zip(plan.path_plans, views)
+            ]
+            positions = [view.log_length for view in views]
+            epochs = [view.epoch for view in views]
+            self._binding_cache[query_id] = (views, relations, positions, epochs)
+            return relations
+        views, relations, positions, epochs = state
+        for index, view in enumerate(views):
+            log_length = view.log_length
+            if epochs[index] != view.epoch:
+                # Wholesale view replacement (backfill of a newly indexed
+                # query sharing this terminal, legacy rebuild, or delta-log
+                # compaction): recompute this path's binding relation.
+                path_plan = plan.path_plans[index]
+                relations[index] = path_plan.counted_bindings_from_rows(view.rows)
+                positions[index] = log_length
+                epochs[index] = view.epoch
+            elif positions[index] != log_length:
+                # Replay the terminal view's signed delta log: appended
+                # positional rows add support to their binding, removed rows
+                # retract it, and the binding disappears only when its last
+                # supporting row dies (counting maintenance).  The relation
+                # object stays stable across both signs, so its maintained
+                # indexes are patched, never rebuilt.
+                path_plan = plan.path_plans[index]
+                cached = relations[index]
+                for row, sign in view.deltas_since(positions[index]):
+                    binding = path_plan.binding_of_row(row)
+                    if binding is None:
+                        continue
+                    if sign > 0:
+                        cached.add(binding)
+                    else:
+                        cached.remove(binding)
+                positions[index] = log_length
         return relations
 
     # ------------------------------------------------------------------
@@ -477,5 +480,16 @@ class TRICPlusEngine(TRICEngine):
 
     name = "TRIC+"
 
-    def __init__(self, *, injective: bool = False, deletion_strategy: str = "counting") -> None:
-        super().__init__(cache=True, injective=injective, deletion_strategy=deletion_strategy)
+    def __init__(
+        self,
+        *,
+        injective: bool = False,
+        deletion_strategy: str = "counting",
+        interner: VertexInterner | None = None,
+    ) -> None:
+        super().__init__(
+            cache=True,
+            injective=injective,
+            deletion_strategy=deletion_strategy,
+            interner=interner,
+        )

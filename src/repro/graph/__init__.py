@@ -25,6 +25,7 @@ from .errors import (
     VertexNotFoundError,
 )
 from .graph import Graph
+from .interning import NullInterner, VertexInterner
 from .stream import GraphStream, StreamStatistics
 
 __all__ = [
@@ -32,6 +33,8 @@ __all__ = [
     "Update",
     "UpdateKind",
     "Vertex",
+    "VertexInterner",
+    "NullInterner",
     "add",
     "delete",
     "renumber",

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, Iterator, Set, Tuple
 
 from .elements import Edge, Update, UpdateKind, Vertex
 from .errors import EdgeNotFoundError, VertexNotFoundError
+from .interning import VertexInterner
 
 __all__ = ["Graph"]
 
@@ -29,19 +30,30 @@ class Graph:
     These indexes are what a production graph store would maintain and they
     are exactly what the Neo4j-substitute baseline relies on to re-execute
     affected queries.
+
+    Internally the adjacency structures carry interned vertex ids (one
+    dictionary-encoded int per distinct identifier string) and decode back
+    to strings at the public navigation surface, so identifier strings are
+    stored once no matter how many adjacency entries reference them.
     """
 
     def __init__(self, edges: Iterable[Edge] | None = None) -> None:
+        self._interner = VertexInterner()
         self._edge_counts: Counter[Edge] = Counter()
-        self._vertices: Set[Vertex] = set()
-        # adjacency: vertex -> label -> set of neighbours
-        self._out: Dict[Vertex, Dict[str, Set[Vertex]]] = defaultdict(dict)
-        self._in: Dict[Vertex, Dict[str, Set[Vertex]]] = defaultdict(dict)
-        # label -> set of (source, target)
-        self._by_label: Dict[str, Set[Tuple[Vertex, Vertex]]] = defaultdict(set)
+        self._vertices: Set[int] = set()
+        # adjacency: vertex id -> label -> set of neighbour ids
+        self._out: Dict[int, Dict[str, Set[int]]] = defaultdict(dict)
+        self._in: Dict[int, Dict[str, Set[int]]] = defaultdict(dict)
+        # label -> set of (source id, target id)
+        self._by_label: Dict[str, Set[Tuple[int, int]]] = defaultdict(set)
         if edges is not None:
             for edge in edges:
                 self.add_edge(edge)
+
+    @property
+    def interner(self) -> VertexInterner:
+        """The vertex string <-> dense-int encoding (read-only use)."""
+        return self._interner
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -63,7 +75,8 @@ class Graph:
 
     def vertices(self) -> Iterator[Vertex]:
         """Iterate over all vertices."""
-        return iter(self._vertices)
+        label_of = self._interner.label_of
+        return (label_of(vid) for vid in self._vertices)
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over distinct edges (ignoring multiplicity)."""
@@ -75,7 +88,8 @@ class Graph:
 
     def has_vertex(self, vertex: Vertex) -> bool:
         """Return ``True`` when ``vertex`` is present."""
-        return vertex in self._vertices
+        vid = self._interner.lookup(vertex)
+        return vid is not None and vid in self._vertices
 
     def has_edge(self, edge: Edge) -> bool:
         """Return ``True`` when at least one copy of ``edge`` is present."""
@@ -91,11 +105,12 @@ class Graph:
     def add_edge(self, edge: Edge) -> None:
         """Add one copy of ``edge``, creating endpoints as needed."""
         self._edge_counts[edge] += 1
-        self._vertices.add(edge.source)
-        self._vertices.add(edge.target)
-        self._out[edge.source].setdefault(edge.label, set()).add(edge.target)
-        self._in[edge.target].setdefault(edge.label, set()).add(edge.source)
-        self._by_label[edge.label].add((edge.source, edge.target))
+        source_id, target_id = self._interner.intern_pair(edge.source, edge.target)
+        self._vertices.add(source_id)
+        self._vertices.add(target_id)
+        self._out[source_id].setdefault(edge.label, set()).add(target_id)
+        self._in[target_id].setdefault(edge.label, set()).add(source_id)
+        self._by_label[edge.label].add((source_id, target_id))
 
     def remove_edge(self, edge: Edge) -> None:
         """Remove one copy of ``edge``.
@@ -110,13 +125,14 @@ class Graph:
             raise EdgeNotFoundError(f"edge not present: {edge}")
         if count == 1:
             del self._edge_counts[edge]
-            self._out[edge.source][edge.label].discard(edge.target)
-            if not self._out[edge.source][edge.label]:
-                del self._out[edge.source][edge.label]
-            self._in[edge.target][edge.label].discard(edge.source)
-            if not self._in[edge.target][edge.label]:
-                del self._in[edge.target][edge.label]
-            self._by_label[edge.label].discard((edge.source, edge.target))
+            source_id, target_id = self._interner.intern_pair(edge.source, edge.target)
+            self._out[source_id][edge.label].discard(target_id)
+            if not self._out[source_id][edge.label]:
+                del self._out[source_id][edge.label]
+            self._in[target_id][edge.label].discard(source_id)
+            if not self._in[target_id][edge.label]:
+                del self._in[target_id][edge.label]
+            self._by_label[edge.label].discard((source_id, target_id))
         else:
             self._edge_counts[edge] = count - 1
 
@@ -132,43 +148,50 @@ class Graph:
     # ------------------------------------------------------------------
     def successors(self, vertex: Vertex, label: str | None = None) -> Set[Vertex]:
         """Return successors of ``vertex`` (optionally restricted to ``label``)."""
-        per_label = self._out.get(vertex)
+        vid = self._interner.lookup(vertex)
+        per_label = self._out.get(vid) if vid is not None else None
         if not per_label:
             return set()
+        label_of = self._interner.label_of
         if label is not None:
-            return set(per_label.get(label, ()))
+            return {label_of(t) for t in per_label.get(label, ())}
         result: Set[Vertex] = set()
         for targets in per_label.values():
-            result.update(targets)
+            result.update(label_of(t) for t in targets)
         return result
 
     def predecessors(self, vertex: Vertex, label: str | None = None) -> Set[Vertex]:
         """Return predecessors of ``vertex`` (optionally restricted to ``label``)."""
-        per_label = self._in.get(vertex)
+        vid = self._interner.lookup(vertex)
+        per_label = self._in.get(vid) if vid is not None else None
         if not per_label:
             return set()
+        label_of = self._interner.label_of
         if label is not None:
-            return set(per_label.get(label, ()))
+            return {label_of(s) for s in per_label.get(label, ())}
         result: Set[Vertex] = set()
         for sources in per_label.values():
-            result.update(sources)
+            result.update(label_of(s) for s in sources)
         return result
 
     def out_degree(self, vertex: Vertex) -> int:
         """Number of distinct outgoing (label, target) pairs of ``vertex``."""
-        if vertex not in self._vertices:
+        vid = self._interner.lookup(vertex)
+        if vid is None or vid not in self._vertices:
             raise VertexNotFoundError(f"vertex not present: {vertex}")
-        return sum(len(ts) for ts in self._out.get(vertex, {}).values())
+        return sum(len(ts) for ts in self._out.get(vid, {}).values())
 
     def in_degree(self, vertex: Vertex) -> int:
         """Number of distinct incoming (label, source) pairs of ``vertex``."""
-        if vertex not in self._vertices:
+        vid = self._interner.lookup(vertex)
+        if vid is None or vid not in self._vertices:
             raise VertexNotFoundError(f"vertex not present: {vertex}")
-        return sum(len(ss) for ss in self._in.get(vertex, {}).values())
+        return sum(len(ss) for ss in self._in.get(vid, {}).values())
 
     def edges_with_label(self, label: str) -> Set[Tuple[Vertex, Vertex]]:
         """Return the set of (source, target) pairs carrying ``label``."""
-        return set(self._by_label.get(label, ()))
+        label_of = self._interner.label_of
+        return {(label_of(s), label_of(t)) for s, t in self._by_label.get(label, ())}
 
     # ------------------------------------------------------------------
     # Dunder helpers

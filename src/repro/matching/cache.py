@@ -1,9 +1,16 @@
-"""Join-structure caching used by the ``+`` engine variants (TRIC+, INV+, INC+).
+"""Join-structure caching (historical ``+`` engine variants; now legacy).
 
 Section 4.2 of the paper ("Caching") observes that the hash-join build phase
 repeatedly reconstructs the same hash tables for the same materialized views.
-The ``+`` variants keep those build-side structures and update them
+The ``+`` variants kept those build-side structures here and updated them
 incrementally instead of rebuilding them from scratch.
+
+That role has since been subsumed by the relations' own *maintained indexes*
+(:meth:`repro.matching.relation.Relation.ensure_index`), which live on the
+relation, are patched by its mutations directly, and need no version
+bookkeeping.  :class:`JoinCache` is retained for the legacy
+``deletion_strategy="rebuild"`` comparison path and for callers that pass an
+explicit cache to :func:`repro.matching.relation.natural_join`.
 
 :class:`JoinCache` keys build-side hash tables by ``(relation uid, key
 columns)`` and tracks the relation version it was built against.  When the

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
+from ..graph.interning import VertexInterner
 from ..query.paths import CoveringPath, covering_paths
 from ..query.pattern import QueryGraphPattern
 from ..query.terms import EdgeKey, Literal, Variable
@@ -80,10 +81,10 @@ class PathPlan:
     def binding_of_row(self, row: Row) -> Row | None:
         """Variable binding of one positional row, or ``None`` when the row
         violates the path's repeated-variable equality constraints."""
-        eq = self.equality_positions
-        if eq and not all(row[i] == row[j] for i, j in eq):
-            return None
-        return tuple(row[p] for p in self.variable_positions)
+        for i, j in self.equality_positions:
+            if row[i] != row[j]:
+                return None
+        return tuple([row[p] for p in self.variable_positions])
 
     def bindings_from_rows(self, rows: Iterable[Row]) -> Relation:
         """Convert positional path rows into a relation over variable names."""
@@ -115,9 +116,21 @@ class PathPlan:
 
 
 class QueryEvaluationPlan:
-    """Covering-path decomposition plus answer assembly for one query."""
+    """Covering-path decomposition plus answer assembly for one query.
 
-    def __init__(self, pattern: QueryGraphPattern, paths: Sequence[CoveringPath] | None = None) -> None:
+    ``interner`` is the vertex encoding of the engine's edge-view registry;
+    when supplied, the plan's literal vertex values are interned up front so
+    the injectivity filter compares dense ints against int rows (the rows it
+    sees are produced by interned base views).
+    """
+
+    def __init__(
+        self,
+        pattern: QueryGraphPattern,
+        paths: Sequence[CoveringPath] | None = None,
+        *,
+        interner: VertexInterner | None = None,
+    ) -> None:
         self.pattern = pattern
         if paths is None:
             paths = covering_paths(pattern)
@@ -128,15 +141,19 @@ class QueryEvaluationPlan:
                 if name not in variables:
                     variables.append(name)
         self.variable_names: Tuple[str, ...] = tuple(variables)
-        self._literal_values: Tuple[str, ...] = tuple(
-            literal.value for literal in pattern.literals()
-        )
+        literal_values = (literal.value for literal in pattern.literals())
+        self._literal_values: Tuple[object, ...] = tuple(
+            interner.intern(value) for value in literal_values
+        ) if interner is not None else tuple(literal_values)
         # Generalised edge key -> list of (path index, edge positions in path).
         self.key_occurrences: Dict[EdgeKey, List[Tuple[int, List[int]]]] = {}
         for path_index, plan in enumerate(self.path_plans):
             for key in set(plan.key_sequence):
                 positions = plan.positions_of_key(key)
                 self.key_occurrences.setdefault(key, []).append((path_index, positions))
+        # affected path index -> probe program for the existence check
+        # (:meth:`has_new_binding`), built lazily.
+        self._delta_programs: Dict[int, List[Tuple]] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -220,6 +237,122 @@ class QueryEvaluationPlan:
         return result
 
     # ------------------------------------------------------------------
+    # Existence check (the notification hot path)
+    # ------------------------------------------------------------------
+    def has_new_binding(
+        self,
+        delta_rows_by_path: Mapping[int, Iterable[Row]],
+        binding_relations: Sequence[Relation],
+        *,
+        injective: bool = False,
+    ) -> bool:
+        """``True`` iff :meth:`evaluate_delta` would be non-empty — without
+        materialising it.
+
+        Per-update notifications only need to know *whether* a query gained
+        an answer.  Instead of building delta relations and joining them
+        into full result sets, each delta binding is extended across the
+        other covering paths by backtracking through their binding
+        relations' maintained indexes, stopping at the first complete
+        binding.  Every probe is O(bucket) and the whole check is
+        proportional to the delta, not to the query's answer set.
+
+        ``binding_relations`` must hold the *full* (already refreshed)
+        binding relation of every covering path, in plan order.
+        """
+        for relation in binding_relations:
+            if not relation.rows:
+                # Some covering path has no bindings at all: no complete
+                # answer can exist, with or without the delta.
+                return False
+        for affected_index, delta_rows in delta_rows_by_path.items():
+            path_plan = self.path_plans[affected_index]
+            program = self._delta_program(affected_index)
+            names = path_plan.variable_names
+            seen: Set[Row] = set()
+            for row in delta_rows:
+                binding = path_plan.binding_of_row(row)
+                if binding is None or binding in seen:
+                    continue
+                seen.add(binding)
+                assignment = dict(zip(names, binding))
+                if self._extend_assignment(program, 0, assignment, binding_relations, injective):
+                    return True
+        return False
+
+    def _delta_program(self, affected_index: int) -> List[Tuple]:
+        """Probe steps extending an affected path's binding across the others.
+
+        Paths are ordered greedily so each step shares at least one already
+        bound variable where possible; each step precomputes the positions
+        probed (the shared variables) and the positions contributing new
+        variables, so the runtime check does no schema arithmetic.
+        """
+        program = self._delta_programs.get(affected_index)
+        if program is None:
+            bound = set(self.path_plans[affected_index].variable_names)
+            remaining = [i for i in range(len(self.path_plans)) if i != affected_index]
+            program = []
+            while remaining:
+                index = next(
+                    (i for i in remaining if bound.intersection(self.path_plans[i].variable_names)),
+                    remaining[0],
+                )
+                remaining.remove(index)
+                names = self.path_plans[index].variable_names
+                shared = tuple(name for name in names if name in bound)
+                shared_positions = tuple(names.index(name) for name in shared)
+                fresh = tuple(
+                    (name, position) for position, name in enumerate(names) if name not in bound
+                )
+                program.append(
+                    (
+                        index,
+                        shared,
+                        shared_positions,
+                        tuple(name for name, _ in fresh),
+                        tuple(position for _, position in fresh),
+                    )
+                )
+                bound.update(names)
+            self._delta_programs[affected_index] = program
+        return program
+
+    def _extend_assignment(
+        self,
+        program: List[Tuple],
+        step: int,
+        assignment: Dict[str, object],
+        binding_relations: Sequence[Relation],
+        injective: bool,
+    ) -> bool:
+        if step == len(program):
+            if injective:
+                values = tuple(assignment.values()) + self._literal_values
+                return len(set(values)) == len(values)
+            return True
+        index, shared, shared_positions, new_names, new_positions = program[step]
+        relation = binding_relations[index]
+        if shared_positions:
+            key = tuple(assignment[name] for name in shared)
+            bucket = relation.probe(shared_positions, key)
+        else:
+            bucket = relation.rows
+        if not bucket:
+            return False
+        if not new_names:
+            # Every bucket row agrees with the assignment and binds nothing
+            # new; one witness is enough.
+            return self._extend_assignment(program, step + 1, assignment, binding_relations, injective)
+        for bucket_row in bucket:
+            extended = dict(assignment)
+            for name, position in zip(new_names, new_positions):
+                extended[name] = bucket_row[position]
+            if self._extend_assignment(program, step + 1, extended, binding_relations, injective):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
     def _join_bindings(
@@ -264,6 +397,25 @@ class QueryEvaluationPlan:
         return Relation(bindings.schema, kept)
 
 
-def bindings_to_dicts(bindings: Relation) -> List[Dict[str, str]]:
-    """Convert a binding relation into a list of ``{variable: vertex}`` dicts."""
-    return [dict(zip(bindings.schema, row)) for row in sorted(bindings.rows)]
+def bindings_to_dicts(
+    bindings: Relation, interner: VertexInterner | None = None
+) -> List[Dict[str, str]]:
+    """Convert a binding relation into a list of ``{variable: vertex}`` dicts.
+
+    With ``interner`` the rows are int-encoded and decoded back to the
+    original identifier strings first.  The output is sorted on the
+    variable-name-sorted items of each binding — the canonical answer order
+    the naive string-based oracle uses — so every engine's ``matches_of``
+    list compares equal element for element.  (The seed sorted on raw rows
+    in schema order instead, which silently diverged from the oracle
+    whenever a query's first-occurrence variable order was not
+    alphabetical.)
+    """
+    schema = bindings.schema
+    if interner is not None:
+        rows: Iterable[Row] = (interner.decode_row(row) for row in bindings.rows)
+    else:
+        rows = bindings.rows
+    dicts = [dict(zip(schema, row)) for row in rows]
+    dicts.sort(key=lambda binding: tuple(sorted(binding.items())))
+    return dicts

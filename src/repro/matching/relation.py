@@ -26,7 +26,9 @@ __all__ = [
     "EMPTY_ROWS",
 ]
 
-Row = Tuple[str, ...]
+#: Rows are tuples of vertex ids — dense ints on the interned hot path
+#: (see :mod:`repro.graph.interning`), strings at the public surface.
+Row = Tuple[object, ...]
 #: A visibility change of one row: ``(row, +1)`` when the row appeared in the
 #: relation, ``(row, -1)`` when it disappeared.
 Delta = Tuple[Row, int]
@@ -52,12 +54,20 @@ class Relation:
     rebuild.  Only the wholesale operations (:meth:`replace_rows`,
     :meth:`clear`) reset the log; they bump ``epoch`` so log positions from
     a previous epoch are recognisably stale.
+
+    Relations additionally carry *maintained indexes*: persistent hash
+    buckets over chosen key columns (:meth:`ensure_index` / :meth:`probe`)
+    that are patched in place by every :meth:`add` / :meth:`remove`, so a
+    probe costs O(bucket) regardless of how large the relation has grown —
+    the adjacency structures behind the whole matching layer.
     """
 
-    __slots__ = ("schema", "rows", "version", "uid", "epoch", "_delta_log")
+    __slots__ = ("schema", "arity", "rows", "version", "uid", "epoch", "_delta_log", "_indexes")
 
     def __init__(self, schema: Sequence[str], rows: Iterable[Row] = ()) -> None:
         self.schema: Tuple[str, ...] = tuple(schema)
+        #: Number of columns (cached: checked on every hot-path ``add``).
+        self.arity: int = len(self.schema)
         self.rows: Set[Row] = set(rows)
         self.version = 0
         self.uid = next(_uid_counter)
@@ -65,15 +75,12 @@ class Relation:
         #: the log are only comparable within the same epoch.
         self.epoch = 0
         self._delta_log: List[Delta] = [(row, 1) for row in self.rows]
+        #: key positions -> {key tuple -> set of rows carrying that key}.
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, Set[Row]]] = {}
 
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
-    @property
-    def arity(self) -> int:
-        """Number of columns."""
-        return len(self.schema)
-
     def __len__(self) -> int:
         return len(self.rows)
 
@@ -95,14 +102,25 @@ class Relation:
     # ------------------------------------------------------------------
     def add(self, row: Row) -> bool:
         """Add ``row``; return ``True`` when it was not already present."""
-        if len(row) != len(self.schema):
+        if len(row) != self.arity:
             raise ValueError(
-                f"row arity {len(row)} does not match schema arity {len(self.schema)}"
+                f"row arity {len(row)} does not match schema arity {self.arity}"
             )
         if row in self.rows:
             return False
         self.rows.add(row)
         self._delta_log.append((row, 1))
+        if self._indexes:
+            for positions, index in self._indexes.items():
+                if len(positions) == 1:
+                    key = (row[positions[0]],)
+                else:
+                    key = tuple(row[i] for i in positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = {row}
+                else:
+                    bucket.add(row)
         self.version += 1
         return True
 
@@ -122,6 +140,17 @@ class Relation:
             return False
         self.rows.remove(row)
         self._delta_log.append((row, -1))
+        if self._indexes:
+            for positions, index in self._indexes.items():
+                if len(positions) == 1:
+                    key = (row[positions[0]],)
+                else:
+                    key = tuple(row[i] for i in positions)
+                bucket = index.get(key)
+                if bucket is not None:
+                    bucket.discard(row)
+                    if not bucket:
+                        del index[key]
         self.version += 1
         self._maybe_compact_log()
         return True
@@ -154,6 +183,8 @@ class Relation:
             self.version += 1
             self.epoch += 1
             self._delta_log = []
+            for positions in self._indexes:
+                self._indexes[positions] = {}
 
     def replace_rows(self, rows: Iterable[Row]) -> None:
         """Replace the contents wholesale (resets the delta log, bumps the epoch)."""
@@ -161,6 +192,8 @@ class Relation:
         self.version += 1
         self.epoch += 1
         self._delta_log = [(row, 1) for row in self.rows]
+        for positions in self._indexes:
+            self._indexes[positions] = self._bucket_rows(positions)
 
     def deltas_since(self, log_position: int) -> Sequence[Delta]:
         """Signed visibility changes after ``log_position`` (same epoch only)."""
@@ -174,6 +207,67 @@ class Relation:
     def log_length(self) -> int:
         """Current length of the delta log."""
         return len(self._delta_log)
+
+    # ------------------------------------------------------------------
+    # Maintained indexes (persistent adjacency)
+    # ------------------------------------------------------------------
+    def ensure_index(self, key_positions: Sequence[int]) -> None:
+        """Create (once) a maintained index over ``key_positions``.
+
+        The index maps key tuples to the set of rows carrying that key and
+        is patched in place by every subsequent mutation — it is built at
+        most once per relation lifetime (wholesale :meth:`replace_rows` /
+        :meth:`clear` recompute it, everything else is O(1) per delta).
+        Registering the index while the relation is still empty makes even
+        the initial build free.
+        """
+        positions = tuple(key_positions)
+        if positions not in self._indexes:
+            self._indexes[positions] = self._bucket_rows(positions)
+
+    def _bucket_rows(self, positions: Tuple[int, ...]) -> Dict[Tuple, Set[Row]]:
+        index: Dict[Tuple, Set[Row]] = {}
+        single = positions[0] if len(positions) == 1 else None
+        for row in self.rows:
+            key = (row[single],) if single is not None else tuple(row[i] for i in positions)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = {row}
+            else:
+                bucket.add(row)
+        return index
+
+    def index_map(self, key_positions: Tuple[int, ...]) -> Dict[Tuple, Set[Row]]:
+        """The maintained index over ``key_positions``, created on first use.
+
+        Returns the live ``{key tuple -> set of rows}`` mapping — treat it
+        as read-only; it is patched by the relation's own mutations.  Hot
+        loops fetch this once and probe the plain dict directly.
+        """
+        positions = tuple(key_positions)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = self._bucket_rows(positions)
+            self._indexes[positions] = index
+        return index
+
+    def probe(self, key_positions: Tuple[int, ...], key: Tuple) -> Set[Row]:
+        """Rows whose ``key_positions`` columns equal ``key`` — O(bucket).
+
+        Creates the maintained index on first use.  The returned set is the
+        live bucket: treat it as read-only and snapshot it (e.g. via
+        ``list(...)``) before mutating the relation.
+        """
+        return self.index_map(key_positions).get(key, EMPTY_ROWS)
+
+    def has_maintained_index(self, key_positions: Tuple[int, ...]) -> bool:
+        """``True`` when a maintained index over ``key_positions`` exists."""
+        return tuple(key_positions) in self._indexes
+
+    @property
+    def maintained_index_positions(self) -> List[Tuple[int, ...]]:
+        """Key positions of the maintained indexes (introspection/tests)."""
+        return list(self._indexes)
 
     # ------------------------------------------------------------------
     # Relational operators
@@ -314,31 +408,29 @@ def extend_path_rows(
     of base tuples whose source equals the row's last value (the ordinary
     left-to-right path join); with ``direction="backward"`` each row is
     extended on the left by the sources of base tuples whose target equals
-    the row's first value.  When a :class:`~repro.matching.cache.JoinCache`
-    is supplied the base view's build-side hash table is cached and reused.
+    the row's first value.
+
+    Probes go through the base view's maintained adjacency index
+    (``source -> rows`` / ``target -> rows``), which is patched in place by
+    the view's own mutations — each probe is O(bucket), never O(|view|).
+    ``cache`` is accepted for backwards compatibility and ignored: the
+    maintained index subsumes the build-side :class:`JoinCache` tables.
     """
+    extended: List[Row] = []
     if direction == "forward":
-        key_position, value_position = 0, 1
+        lookup = base.index_map((0,)).get
+        for row in rows:
+            bucket = lookup((row[-1],))
+            if bucket:
+                extended.extend(row + (base_row[1],) for base_row in bucket)
     elif direction == "backward":
-        key_position, value_position = 1, 0
+        lookup = base.index_map((1,)).get
+        for row in rows:
+            bucket = lookup((row[0],))
+            if bucket:
+                extended.extend((base_row[0],) + row for base_row in bucket)
     else:
         raise ValueError(f"unknown direction: {direction!r}")
-
-    if cache is not None:
-        index = cache.build_index(base, (key_position,))
-    else:
-        index = _build_index(base.rows, (key_position,))
-
-    extended: List[Row] = []
-    for row in rows:
-        probe = row[-1] if direction == "forward" else row[0]
-        bucket = index.get((probe,))
-        if not bucket:
-            continue
-        if direction == "forward":
-            extended.extend(row + (base_row[value_position],) for base_row in bucket)
-        else:
-            extended.extend((base_row[value_position],) + row for base_row in bucket)
     return extended
 
 
@@ -346,51 +438,72 @@ def natural_join(left: Relation, right: Relation, cache=None) -> Relation:
     """Natural join of two relations on their shared column names.
 
     The smaller relation is used as the build side (as in the paper's hash
-    join description).  When ``cache`` (a :class:`~repro.matching.cache.JoinCache`)
-    is provided, the build-side hash table is fetched from / stored into it.
-    With no shared columns the result is the Cartesian product.
+    join description); its hash table is the relation's own *maintained
+    index* over the join columns, so joining repeatedly against a stable
+    relation (e.g. a cached binding table) reuses an incrementally patched
+    structure instead of rebuilding one.  When ``cache`` (a
+    :class:`~repro.matching.cache.JoinCache`) is explicitly provided it is
+    honoured instead, for backwards compatibility.  With no shared columns
+    the result is the Cartesian product.
     """
     shared = [c for c in left.schema if c in right.schema]
     right_only = [c for c in right.schema if c not in shared]
     out_schema = tuple(left.schema) + tuple(right_only)
 
+    if not left.rows or not right.rows:
+        return Relation(out_schema)
+
+    if not shared:
+        # Cartesian product: with no shared columns ``right_only`` is the
+        # whole right schema in order, so rows concatenate directly.
+        return Relation(
+            out_schema, {lrow + rrow for lrow in left.rows for rrow in right.rows}
+        )
+
     left_key_pos = [left.column_index(c) for c in shared]
     right_key_pos = [right.column_index(c) for c in shared]
     right_extra_pos = [right.column_index(c) for c in right_only]
 
-    if not shared:
-        rows = {
-            tuple(lrow) + tuple(rrow[i] for i in right_extra_pos)
-            for lrow in left.rows
-            for rrow in right.rows
-        }
-        return Relation(out_schema, rows)
-
-    # Build on the smaller side, probe with the larger one.
-    if len(right) <= len(left):
-        build_rel, build_pos = right, right_key_pos
-        probe_rel, probe_pos = left, left_key_pos
-        build_is_right = True
+    # Build-side choice: a side that already carries a maintained index over
+    # the join columns is free to "build" (the index persists and is patched
+    # incrementally), so prefer it even when it is the larger side — this is
+    # what turns a delta-against-full join into an O(delta) probe.  With no
+    # maintained index on either side, build on the smaller one as usual.
+    left_positions, right_positions = tuple(left_key_pos), tuple(right_key_pos)
+    left_indexed = left.has_maintained_index(left_positions)
+    right_indexed = right.has_maintained_index(right_positions)
+    if left_indexed != right_indexed:
+        build_is_right = right_indexed
     else:
-        build_rel, build_pos = left, left_key_pos
+        build_is_right = len(right) <= len(left)
+    if build_is_right:
+        build_rel, build_positions = right, right_positions
+        probe_rel, probe_pos = left, left_key_pos
+    else:
+        build_rel, build_positions = left, left_positions
         probe_rel, probe_pos = right, right_key_pos
-        build_is_right = False
 
     if cache is not None:
-        index = cache.build_index(build_rel, tuple(build_pos))
+        lookup = cache.build_index(build_rel, build_positions).get
     else:
-        index = _build_index(build_rel.rows, build_pos)
+        lookup = build_rel.index_map(build_positions).get
 
     rows: Set[Row] = set()
-    for probe_row in probe_rel.rows:
-        key = tuple(probe_row[i] for i in probe_pos)
-        bucket = index.get(key)
-        if not bucket:
-            continue
-        for build_row in bucket:
-            if build_is_right:
-                lrow, rrow = probe_row, build_row
-            else:
-                lrow, rrow = build_row, probe_row
-            rows.add(tuple(lrow) + tuple(rrow[i] for i in right_extra_pos))
+    if build_is_right:
+        for probe_row in probe_rel.rows:
+            key = tuple(probe_row[i] for i in probe_pos)
+            bucket = lookup(key)
+            if not bucket:
+                continue
+            for build_row in bucket:
+                rows.add(probe_row + tuple(build_row[i] for i in right_extra_pos))
+    else:
+        for probe_row in probe_rel.rows:
+            key = tuple(probe_row[i] for i in probe_pos)
+            bucket = lookup(key)
+            if not bucket:
+                continue
+            extra = tuple(probe_row[i] for i in right_extra_pos)
+            for build_row in bucket:
+                rows.add(build_row + extra)
     return Relation(out_schema, rows)

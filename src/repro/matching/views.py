@@ -10,9 +10,10 @@ which is exactly the behaviour the paper calls out in Section 3.2.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..graph.elements import Edge
+from ..graph.interning import VertexInterner
 from ..query.terms import EdgeKey, candidate_keys_for_edge
 from .relation import Relation, Row
 
@@ -23,9 +24,20 @@ EDGE_VIEW_SCHEMA = ("s", "t")
 
 
 class EdgeViewRegistry:
-    """Registry of base materialized views keyed by generalised edge keys."""
+    """Registry of base materialized views keyed by generalised edge keys.
 
-    def __init__(self) -> None:
+    The registry is the interning boundary of the matching layer: incoming
+    edges have their endpoint strings dictionary-encoded through a
+    :class:`~repro.graph.interning.VertexInterner`, so every view row — and
+    everything joined from it downstream — is a tuple of dense ints.  Each
+    view is born with maintained ``source -> rows`` and ``target -> rows``
+    adjacency indexes, created while the view is still empty and patched by
+    its own mutations ever after (never rebuilt on the stream path).
+    """
+
+    def __init__(self, interner: Optional[VertexInterner] = None) -> None:
+        #: The string <-> dense-int vertex encoding shared by every view.
+        self.interner = interner if interner is not None else VertexInterner()
         self._views: Dict[EdgeKey, Relation] = {}
         # label -> keys with that label; avoids probing all four candidate
         # generalisations when no registered key uses the label at all.
@@ -43,6 +55,10 @@ class EdgeViewRegistry:
         view = self._views.get(key)
         if view is None:
             view = Relation(EDGE_VIEW_SCHEMA)
+            # Adjacency indexes registered at birth: built over zero rows,
+            # then maintained incrementally for the view's lifetime.
+            view.ensure_index((0,))
+            view.ensure_index((1,))
             self._views[key] = view
             self._keys_by_label.setdefault(key.label, set()).add(key)
         return view
@@ -90,16 +106,25 @@ class EdgeViewRegistry:
         ``is_new`` is ``False`` when the tuple was already present (duplicate
         multigraph edge), in which case downstream deltas are empty.
         """
+        return self._apply_addition(edge)[0]
+
+    def _apply_addition(self, edge: Edge) -> Tuple[List[Tuple[EdgeKey, bool]], Row | None]:
+        """:meth:`apply_addition` plus the interned row (``None`` if unmatched).
+
+        Endpoints are only interned once the edge is known to match a
+        registered key, so non-matching stream traffic never grows the
+        vertex dictionary.
+        """
         keys = self.matching_keys(edge)
         if not keys:
-            return []
+            return [], None
         self._multiplicity[edge] += 1
         results: List[Tuple[EdgeKey, bool]] = []
-        row = (edge.source, edge.target)
+        row = self.interner.intern_pair(edge.source, edge.target)
         for key in keys:
             is_new = self._views[key].add(row)
             results.append((key, is_new))
-        return results
+        return results, row
 
     def apply_deletion(self, edge: Edge) -> List[EdgeKey]:
         """Remove one copy of ``edge``; return the keys whose view changed.
@@ -107,21 +132,25 @@ class EdgeViewRegistry:
         With multigraph semantics the tuple only leaves the views once the
         last remaining copy of the edge has been deleted.
         """
+        return self._apply_deletion(edge)[0]
+
+    def _apply_deletion(self, edge: Edge) -> Tuple[List[EdgeKey], Row | None]:
+        """:meth:`apply_deletion` plus the interned row (``None`` if unmatched)."""
         keys = self.matching_keys(edge)
         if not keys:
-            return []
+            return [], None
         remaining = self._multiplicity.get(edge, 0)
         if remaining > 1:
             self._multiplicity[edge] = remaining - 1
-            return []
+            return [], None
         if remaining == 1:
             del self._multiplicity[edge]
         affected: List[EdgeKey] = []
-        row = (edge.source, edge.target)
+        row = self.interner.intern_pair(edge.source, edge.target)
         for key in keys:
             if self._views[key].discard(row):
                 affected.append(key)
-        return affected
+        return affected, row
 
     def multiplicity(self, edge: Edge) -> int:
         """Number of live copies of ``edge`` known to the registry."""
@@ -139,9 +168,10 @@ class EdgeViewRegistry:
         """
         new_by_key: Dict[EdgeKey, List[Row]] = {}
         for edge in edges:
-            for key, is_new in self.apply_addition(edge):
+            changed, row = self._apply_addition(edge)
+            for key, is_new in changed:
                 if is_new:
-                    new_by_key.setdefault(key, []).append((edge.source, edge.target))
+                    new_by_key.setdefault(key, []).append(row)
         return new_by_key
 
     def apply_deletions(self, edges: Iterable[Edge]) -> Dict[EdgeKey, Set[Row]]:
@@ -153,8 +183,8 @@ class EdgeViewRegistry:
         """
         removed_by_key: Dict[EdgeKey, Set[Row]] = {}
         for edge in edges:
-            row = (edge.source, edge.target)
-            for key in self.apply_deletion(edge):
+            affected, row = self._apply_deletion(edge)
+            for key in affected:
                 removed_by_key.setdefault(key, set()).add(row)
         return removed_by_key
 

@@ -128,6 +128,9 @@ class TestQueryEvaluationPlan:
         assert injective.rows == {("u1",)}
 
     def test_bindings_to_dicts_sorted_and_stable(self):
+        # Canonical answer order: sorted on the variable-name-sorted items
+        # of each binding — the same order the naive oracle reports, so
+        # engine answer lists compare equal element for element.
         relation = Relation(("b", "a"), [("2", "1"), ("0", "9")])
         dicts = bindings_to_dicts(relation)
-        assert dicts == [{"b": "0", "a": "9"}, {"b": "2", "a": "1"}]
+        assert dicts == [{"b": "2", "a": "1"}, {"b": "0", "a": "9"}]
