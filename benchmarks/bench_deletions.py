@@ -1,13 +1,16 @@
-"""Deletion-heavy stream benchmark: counting-based maintenance vs rebuild.
+"""Deletion-heavy stream benchmark: the counting delta pipeline under churn.
 
 The seed implementation handled a deletion by rebuilding every affected
 sub-trie from the base views and dropping the TRIC+ caches wholesale.  The
 unified delta pipeline instead propagates deletions down the tries as
-negative deltas (counting-based incremental maintenance) and patches the
-caches through the views' signed delta logs.  This benchmark replays a
-deletion-heavy SNB stream (~45 % deletions after warm-up) through both
-strategies and through micro-batch sizes {1, 16, 256}, printing the total
-answering time of each configuration.
+negative deltas (counting-based incremental maintenance) and patches every
+cache through the views' signed delta logs; the legacy rebuild strategy has
+since been removed entirely (the seed-vs-current comparison lives in
+``benchmarks/bench_hotpath.py``).  This benchmark replays a deletion-heavy
+SNB stream (~45 % deletions after warm-up) through the base and
+answer-materialising engine tiers and through micro-batch sizes
+{1, 16, 256}, printing the total answering time of each configuration and
+asserting answer equivalence throughout.
 
 Run directly (the file name keeps it out of the default tier-1 collection)::
 
@@ -81,41 +84,34 @@ def _replay(
     return best, satisfied
 
 
-def test_counting_deletions_beat_subtree_rebuilds():
-    """Counting-based deletion maintenance outperforms the seed rebuild strategy."""
+def test_deletion_heavy_tiers_agree():
+    """Base and answer-materialising tiers agree under deletion churn.
+
+    The counting delta pipeline drives both tiers; timings are printed for
+    the trajectory, equivalence of the satisfied sets is the assertion.
+    """
     scale = bench_scale_from_env()
     updates, workload = _deletion_heavy_workload(scale)
     num_deletions = sum(1 for update in updates if update.is_deletion)
 
     rows = []
     results = {}
-    for engine_name in ("TRIC", "TRIC+"):
-        for strategy in ("counting", "rebuild"):
-            elapsed, satisfied = _replay(
-                engine_name, updates, workload, deletion_strategy=strategy, repeats=3
-            )
-            results[(engine_name, strategy)] = (elapsed, satisfied)
-            rows.append((engine_name, strategy, f"{elapsed:.3f}", len(satisfied)))
+    for engine_name in ("TRIC", "TRIC+", "INV", "INV+", "INC", "INC+"):
+        elapsed, satisfied = _replay(engine_name, updates, workload, repeats=3)
+        results[engine_name] = (elapsed, satisfied)
+        rows.append((engine_name, f"{elapsed:.3f}", len(satisfied)))
 
     print()
     print(
         f"deletion-heavy SNB stream: {len(updates)} updates "
         f"({num_deletions} deletions), |QDB| = {len(workload.queries)}"
     )
-    print(format_table(("engine", "deletions", "total answering (s)", "satisfied"), rows))
+    print(format_table(("engine", "total answering (s)", "satisfied"), rows))
 
-    for engine_name in ("TRIC", "TRIC+"):
-        counting_s, counting_sat = results[(engine_name, "counting")]
-        rebuild_s, rebuild_sat = results[(engine_name, "rebuild")]
-        # Answer equivalence between the strategies is non-negotiable.
-        assert counting_sat == rebuild_sat, engine_name
-        # The speedup is typically 2-5x; best-of-3 timing plus generous
-        # slack keeps the assertion meaningful without going flaky on noisy
-        # shared CI runners at tiny scales.
-        assert counting_s <= rebuild_s * 1.25, (
-            f"{engine_name}: counting ({counting_s:.3f}s) not faster than "
-            f"rebuild ({rebuild_s:.3f}s) on a deletion-heavy stream"
-        )
+    reference = results["TRIC"][1]
+    for engine_name, (_, satisfied) in results.items():
+        # Answer equivalence across engines and tiers is non-negotiable.
+        assert satisfied == reference, engine_name
 
 
 def test_micro_batch_sizes_are_answer_equivalent():

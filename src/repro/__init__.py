@@ -36,8 +36,10 @@ from .baselines import (
 )
 from .core import ContinuousEngine, TRICEngine, TRICPlusEngine
 from .engines import (
+    ANSWER_MATERIALISING_ENGINES,
     CLUSTERING_ENGINES,
     ENGINE_FACTORIES,
+    ENGINE_STRATEGIES,
     PAPER_ENGINES,
     available_engines,
     create_engine,
@@ -97,8 +99,10 @@ __all__ = [
     "GraphDBEngine",
     "NaiveEngine",
     "ENGINE_FACTORIES",
+    "ENGINE_STRATEGIES",
     "PAPER_ENGINES",
     "CLUSTERING_ENGINES",
+    "ANSWER_MATERIALISING_ENGINES",
     "available_engines",
     "create_engine",
     "create_engines",

@@ -7,16 +7,19 @@ left and right from the position the update matched.  Only when a query has
 several covering paths do the unaffected paths still require full
 materialization for the final cross-path join.
 
-INC+ additionally caches the hash-join build structures, like TRIC+/INV+.
+INC+ (the re-differentiated ``+`` tier) is INC plus answer materialisation,
+exactly like INV+: polled queries' answer sets are cached, patched on
+additions with the delta bindings the notification decision computes, and
+marked dirty by deletions (refreshed lazily at the next poll).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Set
+from typing import Dict, Iterable, List, Mapping, Set
 
 from ..graph.interning import VertexInterner
-from ..matching.plans import PathPlan, QueryEvaluationPlan
-from ..matching.relation import Row, extend_path_rows
+from ..matching.plans import PathPlan
+from ..matching.relation import Relation, Row, extend_path_rows
 from ..query.terms import EdgeKey
 from .inv import INVEngine
 
@@ -31,10 +34,13 @@ class INCEngine(INVEngine):
     # ------------------------------------------------------------------
     # Answering phase
     # ------------------------------------------------------------------
-    def _answer_query(self, query_id: str, new_rows_by_key: Mapping[EdgeKey, Iterable[Row]]) -> bool:
+    def _delta_bindings(
+        self, query_id: str, new_rows_by_key: Mapping[EdgeKey, Iterable[Row]]
+    ) -> Relation | None:
+        """Delta bindings via update-seeded expansion (no full path joins)."""
         plan = self._plans[query_id]
         if any(not self._views.view(key) for key in plan.distinct_keys()):
-            return False
+            return None
 
         deltas: Dict[int, Set[Row]] = {}
         for key, new_rows in new_rows_by_key.items():
@@ -47,7 +53,7 @@ class INCEngine(INVEngine):
                 if rows:
                     deltas.setdefault(path_index, set()).update(rows)
         if not deltas:
-            return False
+            return None
 
         # Paths untouched by the update still need their full relation for
         # the final cross-path join; when several paths are affected their
@@ -59,17 +65,16 @@ class INCEngine(INVEngine):
             if needs_full:
                 rows = self._materialize_path(path_plan)
                 if not rows:
-                    return False
+                    return None
                 full_rows.append(rows)
             else:
                 full_rows.append(set())
 
-        new_bindings = plan.evaluate_delta(
+        return plan.evaluate_delta(
             deltas,
             full_rows,
             injective=self.injective,
         )
-        return bool(new_bindings)
 
     def _expand_from_update(self, path_plan: PathPlan, position: int, new_row: Row) -> Set[Row]:
         """Positional rows of the path that use ``new_row`` at edge ``position``.
@@ -98,10 +103,11 @@ class INCEngine(INVEngine):
 
 
 class INCPlusEngine(INCEngine):
-    """INC+ — INC with cached hash-join build structures.
+    """INC+ — INC with answer materialisation for polled queries.
 
-    Like INV+, the cached build structures are subsumed by the maintained
-    adjacency indexes; the variant is kept for CLI / report compatibility.
+    Same caching contract as INV+: exact union patches on additions,
+    dirty-marking on deletions with poll-time refresh, O(answer-set) polls
+    of stable queries.
     """
 
     name = "INC+"
@@ -109,4 +115,4 @@ class INCPlusEngine(INCEngine):
     def __init__(
         self, *, injective: bool = False, interner: VertexInterner | None = None
     ) -> None:
-        super().__init__(cache=True, injective=injective, interner=interner)
+        super().__init__(materialize_answers=True, injective=injective, interner=interner)

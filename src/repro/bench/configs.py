@@ -74,6 +74,12 @@ class ExperimentConfig:
     #: Stream updates per engine call: 1 replays per-update, larger values
     #: drive the engines through answer-equivalent micro-batches.
     batch_size: int = 1
+    #: When positive, poll ``matches_of`` for every satisfied query each
+    #: ``poll_every`` processed updates — the workload on which the
+    #: answer-materialising ``+`` engines (TRIC+/INV+/INC+) separate from
+    #: their base variants (0 disables polling, the paper's original
+    #: notification-only protocol).
+    poll_every: int = 0
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -82,6 +88,8 @@ class ExperimentConfig:
             raise BenchmarkError("num_points must be positive")
         if self.batch_size < 1:
             raise BenchmarkError("batch_size must be at least 1")
+        if self.poll_every < 0:
+            raise BenchmarkError("poll_every must not be negative")
 
     # ------------------------------------------------------------------
     # Scaled sizes
@@ -124,4 +132,5 @@ class ExperimentConfig:
             "time_budget_s": round(self.scaled_time_budget_s, 1),
             "seed": self.seed,
             "batch_size": self.batch_size,
+            "poll_every": self.poll_every,
         }

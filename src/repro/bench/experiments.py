@@ -239,10 +239,16 @@ def _replay_engine(
     time_budget_s: float,
     measure_memory: bool,
     batch_size: int = 1,
+    poll_every: int = 0,
 ) -> Tuple[ReplayResult, float]:
     """Index the workload, replay the stream; returns (result, indexing seconds)."""
     engine = create_engine(engine_name)
-    runner = StreamRunner(engine, time_budget_s=time_budget_s, batch_size=batch_size)
+    runner = StreamRunner(
+        engine,
+        time_budget_s=time_budget_s,
+        batch_size=batch_size,
+        poll_every=poll_every,
+    )
     indexing_s = runner.index_queries(workload.queries)
     result = runner.replay(stream, measure_memory=measure_memory)
     return result, indexing_s
@@ -315,6 +321,7 @@ def _graph_size_sweep(
             time_budget_s=config.scaled_time_budget_s,
             measure_memory=config.measure_memory,
             batch_size=config.batch_size,
+            poll_every=config.poll_every,
         )
         samples = replay.answering.samples
         for checkpoint in checkpoints:
@@ -373,6 +380,7 @@ def _parameter_sweep(
                 time_budget_s=config.scaled_time_budget_s,
                 measure_memory=False,
                 batch_size=config.batch_size,
+                poll_every=config.poll_every,
             )
             result.points.append(
                 SeriesPoint(
@@ -530,6 +538,7 @@ def experiment_fig13c(config: ExperimentConfig) -> ExperimentResult:
                 time_budget_s=config.scaled_time_budget_s,
                 measure_memory=True,
                 batch_size=config.batch_size,
+                poll_every=config.poll_every,
             )
             memory_mb = (
                 replay.memory_bytes / (1024 * 1024) if replay.memory_bytes is not None else None

@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from ..engines import ANSWER_MATERIALISING_ENGINES, ENGINE_STRATEGIES
 from .configs import DEFAULT_BENCH_SCALE
 from .experiments import EXPERIMENTS, ExperimentResult, experiment_ids, run_experiment
 from .figures import FIGURES
@@ -37,6 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="experiment id (e.g. fig12a); may be repeated")
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument("--list-engines", action="store_true",
+                        help="list the engine matrix (base vs answer-materialising '+' "
+                        "variants) and exit")
     parser.add_argument("--scale", type=float, default=None,
                         help="scale factor applied to stream/query sizes and time budgets "
                         f"(default: experiment default; benchmarks use {DEFAULT_BENCH_SCALE})")
@@ -44,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stream updates per engine call (default 1: per-update replay; "
                         "larger values drive the engines through answer-equivalent "
                         "micro-batches)")
+    parser.add_argument("--poll-every", type=int, default=None,
+                        help="poll matches_of for every satisfied query each N processed "
+                        "updates (default 0: notification-only replay; polling is the "
+                        "workload that separates the answer-materialising '+' engines "
+                        "from their base variants)")
     parser.add_argument("--output", type=Path, default=None,
                         help="directory to write one .txt report per experiment")
     parser.add_argument("--profile", action="store_true",
@@ -77,6 +86,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{experiment_id:8s} {spec.figure:14s} {spec.dataset:18s} varying {spec.varied}")
         return 0
 
+    if args.list_engines:
+        for name, strategy in ENGINE_STRATEGIES.items():
+            tier = "answers" if name in ANSWER_MATERIALISING_ENGINES else "base"
+            print(f"{name:8s} {tier:8s} {strategy}")
+        return 0
+
     selected: List[str]
     if args.all:
         selected = experiment_ids()
@@ -100,6 +115,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("--batch-size must be at least 1", file=sys.stderr)
             return 2
         overrides["batch_size"] = args.batch_size
+    if args.poll_every is not None:
+        if args.poll_every < 0:
+            print("--poll-every must not be negative", file=sys.stderr)
+            return 2
+        overrides["poll_every"] = args.poll_every
 
     for experiment_id in selected:
         print(f"=== running {experiment_id} ===", flush=True)

@@ -212,6 +212,17 @@ class ContinuousEngine(abc.ABC):
     def matches_of(self, query_id: str) -> List[Dict[str, str]]:
         """Current answers of ``query_id`` as variable-binding dictionaries."""
 
+    def has_matches(self, query_id: str) -> bool:
+        """``True`` iff ``query_id`` currently has at least one answer.
+
+        The default materialises the full answer set; engines override
+        this with an existence probe — an ``evaluate_full(limit=1)``
+        backtracking search that stops at the first surviving witness, or
+        an O(1) emptiness check of a maintained answer relation — which is
+        what keeps deletion-time invalidation re-checks O(witness).
+        """
+        return bool(self.matches_of(query_id))
+
     # ------------------------------------------------------------------
     # Reporting helpers
     # ------------------------------------------------------------------

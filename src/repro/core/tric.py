@@ -17,28 +17,31 @@ This module implements the paper's primary contribution (Section 4):
   retracted base tuples become *negative* deltas that propagate down the
   tries row by row, so a deletion costs one pruned traversal instead of a
   sub-trie rebuild (paper Section 4.3 treats deletions as first-class
-  stream updates; the legacy rebuild strategy is retained behind
-  ``deletion_strategy="rebuild"`` for comparison benchmarks).
+  stream updates).  A deletion-time re-check of a still-satisfied query is
+  an existence probe — ``evaluate_full(limit=1)`` stops at the first
+  surviving witness — never a full answer materialisation.
 
-``TRICEngine(cache=True)`` (exposed as :class:`TRICPlusEngine`) additionally
-caches hash-join build structures and per-path binding relations, which is
-the paper's TRIC+ variant.  Both caches absorb deletions incrementally:
-join build tables replay the views' signed delta logs and binding relations
-are maintained with support counts, so neither is cleared on the hot path.
+``TRICEngine(materialize_answers=True)`` (exposed as
+:class:`TRICPlusEngine`) is the repository's re-differentiated TRIC+: the
+same delta pipeline plus a *maintained answer relation* per polled query
+(:class:`~repro.matching.answers.MaterializedAnswers`).  Once a query has
+been polled through ``matches_of``, its answers are kept patched in place
+by the binding deltas the pipeline produces anyway, so subsequent polls are
+an O(answer-set) decode (no cross-path join) and deletion invalidation of
+that query is an O(1) emptiness check.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..graph.elements import Edge
 from ..graph.interning import VertexInterner
-from ..matching.cache import JoinCache
+from ..matching.answers import BindingDelta, MaterializedAnswers
 from ..matching.plans import QueryEvaluationPlan, bindings_to_dicts
 from ..matching.relation import CountedRelation, Relation, Row, extend_path_rows
 from ..matching.views import EdgeViewRegistry
 from ..query.pattern import QueryGraphPattern
-from ..query.terms import EdgeKey
 from .engine import ContinuousEngine
 from .trie import TrieForest, TrieNode
 
@@ -53,20 +56,19 @@ class TRICEngine(ContinuousEngine):
 
     Parameters
     ----------
-    cache:
-        Historical TRIC+ flag.  The structures it used to gate — hash-join
-        build tables and per-path binding relations — are now maintained
-        incrementally for every variant (the relations' own maintained
-        indexes and the counted binding tables), so the flag only survives
-        in :meth:`describe` and keeps the legacy ``rebuild`` deletion
-        strategy's :class:`JoinCache` alive for comparison benchmarks.
+    materialize_answers:
+        The re-differentiated ``+`` flag.  When ``True`` the engine keeps a
+        maintained, counted answer relation for every query that has been
+        polled through :meth:`matches_of`
+        (:class:`~repro.matching.answers.MaterializedAnswers`): the answer
+        set is patched in place by the binding deltas the pipeline already
+        produces, later polls are an O(answer-set) decode with no
+        cross-path join, and deletion invalidation of a polled query is an
+        O(1) emptiness check.  Queries that are never polled pay nothing —
+        their deletion re-checks use the same ``evaluate_full(limit=1)``
+        witness probe as the base engine.
     injective:
         Require injective (isomorphism) answer semantics.
-    deletion_strategy:
-        ``"counting"`` (default) propagates deletions down the tries as
-        negative deltas and keeps every cache warm; ``"rebuild"`` is the
-        legacy strategy that rebuilds affected sub-tries from the base views
-        and drops the caches (kept for comparison benchmarks).
     interner:
         Vertex encoding used by the base views (dictionary-encoded dense
         ints by default; benchmarks inject a
@@ -79,24 +81,16 @@ class TRICEngine(ContinuousEngine):
     def __init__(
         self,
         *,
-        cache: bool = False,
+        materialize_answers: bool = False,
         injective: bool = False,
-        deletion_strategy: str = "counting",
         interner: VertexInterner | None = None,
     ) -> None:
         super().__init__(injective=injective)
-        if deletion_strategy not in ("counting", "rebuild"):
-            raise ValueError(f"unknown deletion strategy: {deletion_strategy!r}")
-        self.cache_enabled = cache
-        self.deletion_strategy = deletion_strategy
+        self.materializes_answers = materialize_answers
         self._forest = TrieForest()
         self._views = EdgeViewRegistry(interner=interner)
         self._plans: Dict[str, QueryEvaluationPlan] = {}
         self._terminals: Dict[str, List[TrieNode]] = {}
-        # Retained for the legacy ``rebuild`` deletion strategy and for
-        # backwards compatibility; the probe hot paths now go through the
-        # relations' own maintained indexes instead.
-        self._join_cache: JoinCache | None = JoinCache() if cache else None
         # query id -> (terminal views, counted binding relations, log
         # positions, epochs) as parallel per-covering-path lists.  Each
         # relation is patched by replaying its terminal view's signed delta
@@ -106,6 +100,11 @@ class TRICEngine(ContinuousEngine):
         self._binding_cache: Dict[
             str, Tuple[List[Relation], List[CountedRelation], List[int], List[int]]
         ] = {}
+        # query id -> maintained answer relation, created lazily on the
+        # first poll of that query (``None`` when materialisation is off).
+        self._answers: Optional[Dict[str, MaterializedAnswers]] = (
+            {} if materialize_answers else None
+        )
 
     # ------------------------------------------------------------------
     # Indexing phase (paper Fig. 5)
@@ -264,10 +263,10 @@ class TRICEngine(ContinuousEngine):
         negative deltas at the directly affected trie nodes, and prefix rows
         that die propagate their deaths down the sub-tries (pruning branches
         whose negative delta dies).  Caches are patched through the views'
-        delta logs, never cleared.
+        delta logs, never cleared, and the per-query invalidation re-check
+        is an existence probe (:meth:`has_matches`), never a full answer
+        materialisation.
         """
-        if self.deletion_strategy == "rebuild":
-            return self._rebuild_after_deletions(edges)
         removed_by_key = self._views.apply_deletions(edges)
         if not removed_by_key:
             return frozenset()
@@ -290,7 +289,7 @@ class TRICEngine(ContinuousEngine):
 
         invalidated: Set[str] = set()
         for query_id in affected_queries:
-            if query_id in self._satisfied and not self.matches_of(query_id):
+            if query_id in self._satisfied and not self.has_matches(query_id):
                 invalidated.add(query_id)
         return frozenset(invalidated)
 
@@ -334,63 +333,71 @@ class TRICEngine(ContinuousEngine):
             self._propagate_removals(child, child_removed, affected_queries)
 
     # ------------------------------------------------------------------
-    # Legacy deletion strategy (rebuild affected sub-tries, drop caches)
-    # ------------------------------------------------------------------
-    def _rebuild_after_deletions(self, edges: Sequence[Edge]) -> FrozenSet[str]:
-        affected_keys: Set[EdgeKey] = set(self._views.apply_deletions(edges))
-        if not affected_keys:
-            return frozenset()
-        # The legacy strategy achieves correctness by rebuilding the affected
-        # sub-tries from the base views and dropping the caches wholesale.
-        if self._join_cache is not None:
-            self._join_cache.clear()
-        self._binding_cache.clear()
-
-        rebuilt: Set[int] = set()
-        affected_queries: Set[str] = set()
-        nodes: Dict[int, TrieNode] = {}
-        for key in affected_keys:
-            for node in self._forest.nodes_with_key(key):
-                nodes[node.node_id] = node
-        for node in sorted(nodes.values(), key=lambda n: n.depth):
-            if node.node_id in rebuilt:
-                continue
-            self._rebuild_subtree(node, rebuilt, affected_queries)
-
-        invalidated: Set[str] = set()
-        for query_id in affected_queries:
-            if query_id not in self._satisfied:
-                continue
-            if not self.matches_of(query_id):
-                invalidated.add(query_id)
-        return frozenset(invalidated)
-
-    def _rebuild_subtree(self, node: TrieNode, rebuilt: Set[int], affected_queries: Set[str]) -> None:
-        base = self._views.view(node.key)
-        if node.is_root:
-            rows: Iterable[Row] = set(base.rows)
-        else:
-            rows = self._extend_rows(node.parent.view.rows, base)
-        node.view.replace_rows(rows)
-        rebuilt.add(node.node_id)
-        affected_queries.update(query_id for query_id, _ in node.query_paths)
-        for child in node.children:
-            self._rebuild_subtree(child, rebuilt, affected_queries)
-
-    # ------------------------------------------------------------------
     # Answers
     # ------------------------------------------------------------------
     def matches_of(self, query_id: str) -> List[Dict[str, str]]:
+        """Current answers of ``query_id``.
+
+        With answer materialisation on, the result is decoded straight from
+        the query's maintained answer relation (created on the first poll,
+        patched by the delta pipeline from then on) — no cross-path join
+        runs on this call path.  The base engine joins the maintained
+        per-path binding relations on demand instead.
+        """
         self._require_known(query_id)
+        if self._answers is not None:
+            return bindings_to_dicts(
+                self._materialized_answers(query_id), self._views.interner
+            )
         plan = self._plans[query_id]
-        terminals = self._terminals[query_id]
-        full_rows = [terminal.view.rows for terminal in terminals]
         bindings = plan.evaluate_full(
-            full_rows,
             binding_relations=self._refresh_binding_relations(query_id),
             injective=self.injective,
         )
         return bindings_to_dicts(bindings, self._views.interner)
+
+    def has_matches(self, query_id: str) -> bool:
+        """Existence probe: O(1) on a materialised query, O(witness) otherwise.
+
+        A query with a live (non-stale) maintained answer relation answers
+        from its patched emptiness; every other query — including one
+        whose maintainer went stale through a wholesale view change, whose
+        rebuild stays deferred to the next poll — runs the existence-mode
+        ``evaluate_full(limit=1)`` backtracking search over its maintained
+        binding relations, which stops at the first surviving witness.
+        This is what deletion-time invalidation re-checks call, so neither
+        path ever materialises a full answer set.
+        """
+        self._require_known(query_id)
+        relations = self._refresh_binding_relations(query_id)
+        if self._answers is not None:
+            maintainer = self._answers.get(query_id)
+            if maintainer is not None and not maintainer.stale:
+                return bool(maintainer)
+        plan = self._plans[query_id]
+        witness = plan.evaluate_full(
+            binding_relations=relations,
+            injective=self.injective,
+            limit=1,
+        )
+        return bool(witness)
+
+    def _materialized_answers(self, query_id: str) -> CountedRelation:
+        """The query's maintained answer relation, created/refreshed lazily."""
+        assert self._answers is not None
+        maintainer = self._answers.get(query_id)
+        if maintainer is None:
+            maintainer = MaterializedAnswers(
+                self._plans[query_id], injective=self.injective
+            )
+            self._answers[query_id] = maintainer
+        # Refreshing the binding relations feeds any pending binding deltas
+        # to a live maintainer (see _refresh_binding_relations); a stale or
+        # freshly created maintainer rebuilds from the refreshed relations.
+        relations = self._refresh_binding_relations(query_id)
+        if maintainer.stale:
+            maintainer.rebuild(relations)
+        return maintainer.relation
 
     # ------------------------------------------------------------------
     # Maintained per-path binding relations (counting-based projection)
@@ -409,16 +416,25 @@ class TRICEngine(ContinuousEngine):
             self._binding_cache[query_id] = (views, relations, positions, epochs)
             return relations
         views, relations, positions, epochs = state
+        # A live maintained answer relation is kept in lockstep: path i's
+        # binding-visibility deltas are joined against the other paths'
+        # relations *between* patching path i and patching path i+1, so
+        # paths < i are seen at their new state and paths > i at their old
+        # state — the sequential inclusion-exclusion order under which
+        # counted multi-way join maintenance is exact.
+        maintainer = self._answers.get(query_id) if self._answers is not None else None
         for index, view in enumerate(views):
             log_length = view.log_length
             if epochs[index] != view.epoch:
                 # Wholesale view replacement (backfill of a newly indexed
-                # query sharing this terminal, legacy rebuild, or delta-log
-                # compaction): recompute this path's binding relation.
+                # query sharing this terminal, or delta-log compaction):
+                # recompute this path's binding relation.
                 path_plan = plan.path_plans[index]
                 relations[index] = path_plan.counted_bindings_from_rows(view.rows)
                 positions[index] = log_length
                 epochs[index] = view.epoch
+                if maintainer is not None:
+                    maintainer.mark_stale()
             elif positions[index] != log_length:
                 # Replay the terminal view's signed delta log: appended
                 # positional rows add support to their binding, removed rows
@@ -428,15 +444,21 @@ class TRICEngine(ContinuousEngine):
                 # indexes are patched, never rebuilt.
                 path_plan = plan.path_plans[index]
                 cached = relations[index]
+                feed = maintainer is not None and not maintainer.stale
+                changes: List[BindingDelta] = []
                 for row, sign in view.deltas_since(positions[index]):
                     binding = path_plan.binding_of_row(row)
                     if binding is None:
                         continue
                     if sign > 0:
-                        cached.add(binding)
+                        if cached.add(binding) and feed:
+                            changes.append((binding, 1))
                     else:
-                        cached.remove(binding)
+                        if cached.remove(binding) and feed:
+                            changes.append((binding, -1))
                 positions[index] = log_length
+                if changes:
+                    maintainer.apply_binding_deltas(index, changes, relations)
         return relations
 
     # ------------------------------------------------------------------
@@ -459,24 +481,38 @@ class TRICEngine(ContinuousEngine):
             for plan in self._plans.values()
             for path_plan in plan.path_plans
         )
-        return {
+        statistics = {
             "tries": self._forest.num_tries(),
             "trie_nodes": self._forest.num_nodes(),
             "indexed_path_edges": total_path_edges,
             "base_views": len(self._views),
             "base_view_rows": self._views.total_rows(),
         }
+        if self._answers is not None:
+            statistics["materialized_queries"] = len(self._answers)
+            statistics["materialized_answer_rows"] = sum(
+                len(maintainer.relation) for maintainer in self._answers.values()
+            )
+        return statistics
 
     def describe(self) -> Dict[str, object]:
         description = super().describe()
         description.update(self.statistics())
-        description["cache"] = self.cache_enabled
-        description["deletion_strategy"] = self.deletion_strategy
+        description["materialize_answers"] = self.materializes_answers
         return description
 
 
 class TRICPlusEngine(TRICEngine):
-    """TRIC+ — TRIC with cached join structures (paper Section 4.2, Caching)."""
+    """TRIC+ — TRIC with maintained answer materialisation.
+
+    The paper's TRIC+ cached hash-join build structures (Section 4.2,
+    "Caching"); those structures are maintained for every variant in this
+    codebase, so the repository re-differentiates the ``+`` tier as the
+    *answer-materialising* variant: ``matches_of`` of a polled query is
+    served from a maintained counted answer relation instead of a
+    cross-path join, and deletion invalidation of a polled query is an
+    O(1) emptiness check.
+    """
 
     name = "TRIC+"
 
@@ -484,12 +520,10 @@ class TRICPlusEngine(TRICEngine):
         self,
         *,
         injective: bool = False,
-        deletion_strategy: str = "counting",
         interner: VertexInterner | None = None,
     ) -> None:
         super().__init__(
-            cache=True,
+            materialize_answers=True,
             injective=injective,
-            deletion_strategy=deletion_strategy,
             interner=interner,
         )

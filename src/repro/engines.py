@@ -19,8 +19,10 @@ from .graph.errors import EngineError
 
 __all__ = [
     "ENGINE_FACTORIES",
+    "ENGINE_STRATEGIES",
     "PAPER_ENGINES",
     "CLUSTERING_ENGINES",
+    "ANSWER_MATERIALISING_ENGINES",
     "available_engines",
     "create_engine",
     "create_engines",
@@ -38,11 +40,29 @@ ENGINE_FACTORIES: Dict[str, Callable[..., ContinuousEngine]] = {
     "Naive": NaiveEngine,
 }
 
+#: One-line strategy of each engine — the re-differentiated matrix surfaced
+#: by ``repro-bench --list-engines`` (base engines probe existence and join
+#: on demand; ``+`` engines additionally materialise polled answer sets).
+ENGINE_STRATEGIES: Dict[str, str] = {
+    "TRIC": "trie-clustered covering paths, delta joins, witness-probe notifications",
+    "TRIC+": "TRIC + maintained counted answer relations (O(answer) matches_of, O(1) invalidation)",
+    "INV": "inverted edge indexes, full path re-materialization per update",
+    "INV+": "INV + cached answer sets (patched on additions, recomputed on deletions)",
+    "INC": "INV indexes with update-seeded incremental path joins",
+    "INC+": "INC + cached answer sets (patched on additions, recomputed on deletions)",
+    "GraphDB": "embedded property-graph store, affected queries re-executed per batch",
+    "Naive": "full re-evaluation oracle (correctness reference)",
+}
+
 #: The seven algorithms compared throughout the paper's evaluation.
 PAPER_ENGINES = ("TRIC", "TRIC+", "INV", "INV+", "INC", "INC+", "GraphDB")
 
 #: The engines that exploit clustering / trie sharing.
 CLUSTERING_ENGINES = ("TRIC", "TRIC+")
+
+#: The re-differentiated ``+`` tier: base algorithm + maintained answer
+#: materialisation for ``matches_of`` (see ``repro.matching.answers``).
+ANSWER_MATERIALISING_ENGINES = ("TRIC+", "INV+", "INC+")
 
 
 def available_engines() -> List[str]:

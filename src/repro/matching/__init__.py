@@ -1,6 +1,22 @@
-"""Materialized views, hash joins, caching, and query evaluation plans."""
+"""The matching layer: relations, joins, views, plans, and answer caches.
 
-from .cache import CacheStatistics, JoinCache
+``pydoc repro.matching`` is the reference for the whole layer:
+
+* :class:`Relation` / :class:`CountedRelation` — mutable tuple sets with
+  signed delta logs and *maintained indexes* (persistent hash buckets
+  patched by every mutation; see :meth:`Relation.ensure_index` and
+  :meth:`Relation.probe`).
+* :class:`EdgeViewRegistry` — the materialized base views of query edges
+  and the interning boundary of the system.
+* :class:`QueryEvaluationPlan` / :class:`PathPlan` — per-query covering-path
+  decomposition, delta evaluation, the witness-probe existence checks
+  (:meth:`QueryEvaluationPlan.has_new_binding` and
+  ``evaluate_full(limit=1)``), and derivation enumeration.
+* :class:`MaterializedAnswers` / :class:`AnswerSetCache` — the maintained
+  answer relations behind the ``+`` engines (TRIC+ / INV+ / INC+).
+"""
+
+from .answers import AnswerSetCache, MaterializedAnswers
 from .evaluator import count_embeddings, find_embeddings, find_new_embeddings
 from .plans import PathPlan, QueryEvaluationPlan, bindings_to_dicts
 from .relation import CountedRelation, Relation, natural_join
@@ -10,12 +26,12 @@ __all__ = [
     "Relation",
     "CountedRelation",
     "natural_join",
-    "JoinCache",
-    "CacheStatistics",
     "EdgeViewRegistry",
     "PathPlan",
     "QueryEvaluationPlan",
     "bindings_to_dicts",
+    "MaterializedAnswers",
+    "AnswerSetCache",
     "find_embeddings",
     "find_new_embeddings",
     "count_embeddings",

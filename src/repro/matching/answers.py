@@ -1,0 +1,221 @@
+"""Maintained answer materialisation: the subsystem behind the ``+`` engines.
+
+The base engines (TRIC, INV, INC) answer *notifications* — "did this query
+gain or lose answers?" — through existence probes that stop at the first
+witness, and compute the full answer set of a query only on demand, by
+joining its covering-path relations.  The ``+`` variants (TRIC+, INV+, INC+)
+additionally *materialise* each polled query's answer relation and keep it
+maintained, so :meth:`~repro.core.engine.ContinuousEngine.matches_of`
+becomes an O(answer-set) decode instead of a cross-path join, and deletion
+invalidation of a polled query becomes an O(1) emptiness check.
+
+Two maintenance strategies live here, matching the two engine families:
+
+:class:`MaterializedAnswers`
+    Exact *counting-based* maintenance for engines with maintained per-path
+    binding relations (TRIC+).  The answer relation is a
+    :class:`~repro.matching.relation.CountedRelation` whose support counts
+    equal the number of derivations — combinations of one visible binding
+    per covering path — of each answer.  Positive and negative binding
+    deltas from the engine's delta pipeline are joined against the *other*
+    paths' binding relations (through their maintained indexes) and patch
+    the relation in place; an answer disappears exactly when its last
+    derivation dies.
+
+:class:`AnswerSetCache`
+    Set-semantics caching for recompute-style engines without maintained
+    per-path state (INV+, INC+).  Additions are absorbed exactly — any
+    answer created by a batch is derivable from the batch's delta rows, so
+    unioning the engine's delta bindings into the cache is lossless — while
+    deletions mark the cache dirty: invalidation keeps using the engines'
+    O(witness) existence probe, and the recompute (which the base variants
+    performed on *every* ``matches_of`` call) is deferred to the next
+    poll.
+
+Both classes are deliberately engine-agnostic: they hold no references to
+views, tries, or inverted indexes, only to a
+:class:`~repro.matching.plans.QueryEvaluationPlan` and whatever relations
+the engine hands them.
+
+Answer-ordering note: engines decode these relations through
+:func:`~repro.matching.plans.bindings_to_dicts`, which canonicalises the
+output order — a materialised answer relation with the same *rows* as a
+fresh evaluation therefore yields a byte-identical ``matches_of`` list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from .plans import QueryEvaluationPlan
+from .relation import CountedRelation, Relation, Row
+
+__all__ = ["MaterializedAnswers", "AnswerSetCache"]
+
+#: A visibility change of one per-path binding: ``(binding, +1)`` when the
+#: binding became visible in its path's binding relation, ``(binding, -1)``
+#: when it disappeared (support dropped to zero).
+BindingDelta = Tuple[Row, int]
+
+
+class MaterializedAnswers:
+    """Counted, maintained answer relation of one query (TRIC+ strategy).
+
+    The relation's rows are tuples over the plan's
+    :attr:`~repro.matching.plans.QueryEvaluationPlan.variable_names`; the
+    support count of a row is the number of *derivations* currently
+    producing it — combinations of one visible binding per covering path
+    that join to the answer (and pass the injectivity filter when the
+    engine requires isomorphism semantics).
+
+    Lifecycle
+    ---------
+    A maintainer starts *stale*.  :meth:`rebuild` computes the relation
+    from the query's current binding relations (one enumeration pass, one
+    ``add`` per derivation).  From then on the owning engine must feed
+    every binding-visibility change through :meth:`apply_binding_deltas`
+    *in the order the binding relations are patched*: when the engine
+    patches path ``i``, paths ``< i`` are already at their new state and
+    paths ``> i`` still at their old state, which is exactly the
+    sequential inclusion–exclusion order that makes counted multi-way
+    join maintenance exact.  Wholesale changes to any binding relation
+    (an epoch bump) must :meth:`mark_stale` the maintainer, which ignores
+    further deltas until the next :meth:`rebuild`.
+    """
+
+    __slots__ = ("plan", "injective", "relation", "_stale")
+
+    def __init__(self, plan: QueryEvaluationPlan, *, injective: bool = False) -> None:
+        self.plan = plan
+        self.injective = injective
+        self.relation: CountedRelation = CountedRelation(plan.variable_names)
+        self._stale = True
+
+    @property
+    def stale(self) -> bool:
+        """``True`` while the relation needs a :meth:`rebuild`."""
+        return self._stale
+
+    def mark_stale(self) -> None:
+        """Invalidate the relation (a binding relation changed wholesale)."""
+        self._stale = True
+
+    def rebuild(self, binding_relations: Sequence[Relation]) -> None:
+        """Recompute the relation from the current ``binding_relations``.
+
+        Enumerates every derivation through the plan's backtracking
+        program (probing the binding relations' maintained indexes), so
+        the cost is proportional to the number of derivations, not to the
+        cross product of the path relations.
+        """
+        relation = CountedRelation(self.plan.variable_names)
+        if all(rel.rows for rel in binding_relations):
+            for answer in self.plan.iter_derivations(
+                binding_relations, injective=self.injective
+            ):
+                relation.add(answer)
+        self.relation = relation
+        self._stale = False
+
+    def apply_binding_deltas(
+        self,
+        path_index: int,
+        deltas: Iterable[BindingDelta],
+        binding_relations: Sequence[Relation],
+    ) -> None:
+        """Patch the relation with one path's binding-visibility deltas.
+
+        ``deltas`` are the visibility changes of path ``path_index``'s
+        binding relation, in log order.  Each delta binding is extended
+        across the *other* paths' binding relations (at their current
+        state — see the class docstring for why that ordering is exact)
+        and every resulting derivation adds or retracts one unit of
+        support for its answer.  No-op while :attr:`stale`.
+        """
+        if self._stale:
+            return
+        relation = self.relation
+        plan = self.plan
+        for binding, sign in deltas:
+            derivations = plan.iter_delta_derivations(
+                path_index, binding, binding_relations, injective=self.injective
+            )
+            if sign > 0:
+                for answer in derivations:
+                    relation.add(answer)
+            else:
+                for answer in derivations:
+                    relation.remove(answer)
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __bool__(self) -> bool:
+        return bool(self.relation)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "stale" if self._stale else f"answers={len(self.relation)}"
+        return f"MaterializedAnswers({state})"
+
+
+class AnswerSetCache:
+    """Set-semantics materialised answers (INV+ / INC+ strategy).
+
+    Engines without maintained per-path binding relations cannot attribute
+    a retracted base tuple to the answers it supported, so this cache
+    patches additions exactly and invalidates lazily on deletions:
+
+    * :meth:`absorb_new` unions a batch's *delta bindings* (the answers
+      derivable using at least one new base tuple — which the engine
+      already computes for its notification decision) into the relation.
+      This is lossless: every answer present after a batch of additions
+      either existed before or uses a new tuple.
+    * :meth:`mark_dirty` records that a deletion may have removed cached
+      answers.  A dirty cache is *not* recomputed eagerly — the engine's
+      deletion-time invalidation keeps using the O(witness) existence
+      probe — but the next actual poll refreshes it through
+      :meth:`reset_to` (the same full evaluation the non-materialising
+      engine would run inside every ``matches_of``).
+
+    The cache is born dirty, so the first poll computes it.
+    """
+
+    __slots__ = ("relation", "_dirty")
+
+    def __init__(self, plan: QueryEvaluationPlan) -> None:
+        self.relation = Relation(plan.variable_names)
+        self._dirty = True
+
+    @property
+    def dirty(self) -> bool:
+        """``True`` while a deletion may have invalidated cached answers."""
+        return self._dirty
+
+    def mark_dirty(self) -> None:
+        """Record a deletion touching this query (refresh deferred to the
+        next poll)."""
+        self._dirty = True
+
+    def absorb_new(self, new_bindings: Relation) -> None:
+        """Union the answers of a positive delta into the cache.
+
+        A no-op while dirty: the pending refresh recomputes everything
+        anyway, so patching a known-stale relation is wasted work.
+        """
+        if not self._dirty:
+            self.relation.add_all(new_bindings.rows)
+
+    def reset_to(self, bindings: Relation) -> None:
+        """Replace the cached answers wholesale (poll-time refresh)."""
+        self.relation.replace_rows(bindings.rows)
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __bool__(self) -> bool:
+        return bool(self.relation)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "dirty, " if self._dirty else ""
+        return f"AnswerSetCache({state}answers={len(self.relation)})"

@@ -15,13 +15,12 @@ answer is assembled.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..graph.interning import VertexInterner
 from ..query.paths import CoveringPath, covering_paths
 from ..query.pattern import QueryGraphPattern
-from ..query.terms import EdgeKey, Literal, Variable
-from .cache import JoinCache
+from ..query.terms import EdgeKey, Variable
 from .relation import CountedRelation, Relation, Row, natural_join
 
 __all__ = ["PathPlan", "QueryEvaluationPlan", "bindings_to_dicts"]
@@ -151,9 +150,9 @@ class QueryEvaluationPlan:
             for key in set(plan.key_sequence):
                 positions = plan.positions_of_key(key)
                 self.key_occurrences.setdefault(key, []).append((path_index, positions))
-        # affected path index -> probe program for the existence check
-        # (:meth:`has_new_binding`), built lazily.
-        self._delta_programs: Dict[int, List[Tuple]] = {}
+        # affected path index (or None for the full-enumeration program) ->
+        # probe program for the existence/enumeration machinery, built lazily.
+        self._delta_programs: Dict[Optional[int], List[Tuple]] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -176,19 +175,40 @@ class QueryEvaluationPlan:
     # ------------------------------------------------------------------
     def evaluate_full(
         self,
-        path_rows: Sequence[Iterable[Row]],
+        path_rows: Sequence[Iterable[Row]] | None = None,
         *,
-        join_cache: JoinCache | None = None,
         binding_relations: Sequence[Relation] | None = None,
         injective: bool = False,
+        limit: int | None = None,
     ) -> Relation:
         """Join every path's rows into query-level bindings.
 
-        ``path_rows`` supplies the positional rows of each covering path (in
-        plan order).  ``binding_relations`` may supply pre-converted binding
-        relations (used by the caching engines so the join cache sees stable
-        relation identities); entries set to ``None`` are converted on the
-        fly.
+        Parameters
+        ----------
+        path_rows:
+            Positional rows of each covering path (in plan order).  May be
+            ``None`` when ``binding_relations`` supplies every path.
+        binding_relations:
+            Pre-converted binding relations (engines with maintained
+            per-path state pass these so the relations' maintained indexes
+            are reused); entries set to ``None`` are converted from
+            ``path_rows`` on the fly.
+        injective:
+            Keep only bindings mapping distinct variables (and literals)
+            to distinct vertices (isomorphism semantics).
+        limit:
+            *Existence mode.*  When given, the full cross-path join is
+            skipped: bindings are enumerated by backtracking through the
+            binding relations' maintained indexes and the evaluation stops
+            as soon as ``limit`` distinct bindings exist.  ``limit=1`` is
+            the deletion-invalidation probe — "does any answer survive?" —
+            and costs O(first witness) instead of O(answer set).
+
+        Returns
+        -------
+        Relation
+            Bindings over :attr:`variable_names` — the query's full answer
+            relation, or its first ``limit`` bindings in existence mode.
         """
         relations: List[Relation] = []
         for index, plan in enumerate(self.path_plans):
@@ -196,15 +216,21 @@ class QueryEvaluationPlan:
             if prebuilt is not None:
                 relations.append(prebuilt)
             else:
+                if path_rows is None:
+                    raise ValueError(
+                        "evaluate_full needs path_rows for paths without a "
+                        "prebuilt binding relation"
+                    )
                 relations.append(plan.bindings_from_rows(path_rows[index]))
-        return self._join_bindings(relations, join_cache, injective)
+        if limit is not None:
+            return self._evaluate_limited(relations, injective, limit)
+        return self._join_bindings(relations, injective)
 
     def evaluate_delta(
         self,
         delta_rows_by_path: Mapping[int, Iterable[Row]],
         full_path_rows: Sequence[Iterable[Row]],
         *,
-        join_cache: JoinCache | None = None,
         binding_relations: Sequence[Relation] | None = None,
         injective: bool = False,
     ) -> Relation:
@@ -230,7 +256,7 @@ class QueryEvaluationPlan:
                     relations.append(prebuilt)
                 else:
                     relations.append(plan.bindings_from_rows(full_path_rows[index]))
-            joined = self._join_bindings(relations, join_cache, injective)
+            joined = self._join_bindings(relations, injective)
             result.rows.update(joined.rows)
         if result.rows:
             result.version += 1
@@ -280,18 +306,26 @@ class QueryEvaluationPlan:
                     return True
         return False
 
-    def _delta_program(self, affected_index: int) -> List[Tuple]:
+    def _delta_program(self, affected_index: Optional[int]) -> List[Tuple]:
         """Probe steps extending an affected path's binding across the others.
 
-        Paths are ordered greedily so each step shares at least one already
-        bound variable where possible; each step precomputes the positions
-        probed (the shared variables) and the positions contributing new
-        variables, so the runtime check does no schema arithmetic.
+        With ``affected_index=None`` the program enumerates *every* path
+        from an empty assignment (the full-enumeration program behind
+        :meth:`iter_derivations` and the ``limit`` mode of
+        :meth:`evaluate_full`).  Paths are ordered greedily so each step
+        shares at least one already bound variable where possible; each
+        step precomputes the positions probed (the shared variables) and
+        the positions contributing new variables, so the runtime check does
+        no schema arithmetic.
         """
         program = self._delta_programs.get(affected_index)
         if program is None:
-            bound = set(self.path_plans[affected_index].variable_names)
-            remaining = [i for i in range(len(self.path_plans)) if i != affected_index]
+            if affected_index is None:
+                bound: Set[str] = set()
+                remaining = list(range(len(self.path_plans)))
+            else:
+                bound = set(self.path_plans[affected_index].variable_names)
+                remaining = [i for i in range(len(self.path_plans)) if i != affected_index]
             program = []
             while remaining:
                 index = next(
@@ -327,10 +361,7 @@ class QueryEvaluationPlan:
         injective: bool,
     ) -> bool:
         if step == len(program):
-            if injective:
-                values = tuple(assignment.values()) + self._literal_values
-                return len(set(values)) == len(values)
-            return True
+            return not injective or self._is_injective(assignment.values())
         index, shared, shared_positions, new_names, new_positions = program[step]
         relation = binding_relations[index]
         if shared_positions:
@@ -353,14 +384,120 @@ class QueryEvaluationPlan:
         return False
 
     # ------------------------------------------------------------------
+    # Derivation enumeration (answer materialisation and existence mode)
+    # ------------------------------------------------------------------
+    def iter_derivations(
+        self,
+        binding_relations: Sequence[Relation],
+        *,
+        injective: bool = False,
+    ) -> Iterator[Row]:
+        """Yield one answer tuple per *derivation* of the query.
+
+        A derivation is a combination of one binding per covering path that
+        agrees on every shared variable; the same answer tuple is yielded
+        once per derivation, which is exactly the multiplicity a counted
+        answer relation needs (see
+        :class:`~repro.matching.answers.MaterializedAnswers`).  Probes go
+        through the binding relations' maintained indexes, so the cost is
+        proportional to the number of derivations, never to the cross
+        product of the path relations.
+        """
+        program = self._delta_program(None)
+        names = self.variable_names
+        for assignment in self._iter_assignments(program, 0, {}, binding_relations):
+            if injective and not self._is_injective(assignment.values()):
+                continue
+            yield tuple(assignment[name] for name in names)
+
+    def iter_delta_derivations(
+        self,
+        path_index: int,
+        binding: Row,
+        binding_relations: Sequence[Relation],
+        *,
+        injective: bool = False,
+    ) -> Iterator[Row]:
+        """Yield the derivations gained (or lost) with one path binding.
+
+        Extends ``binding`` — a binding of covering path ``path_index``
+        that just appeared in or disappeared from that path's binding
+        relation — across the *other* paths' binding relations.  Each yield
+        is one derivation of an answer whose support changes by exactly one
+        unit; ``path_index``'s own relation is never probed, so the caller
+        is free to feed the delta before or after patching it.
+        """
+        path_plan = self.path_plans[path_index]
+        assignment = dict(zip(path_plan.variable_names, binding))
+        program = self._delta_program(path_index)
+        names = self.variable_names
+        for extended in self._iter_assignments(program, 0, assignment, binding_relations):
+            if injective and not self._is_injective(extended.values()):
+                continue
+            yield tuple(extended[name] for name in names)
+
+    def _iter_assignments(
+        self,
+        program: List[Tuple],
+        step: int,
+        assignment: Dict[str, object],
+        binding_relations: Sequence[Relation],
+    ) -> Iterator[Dict[str, object]]:
+        """Enumerate every completion of ``assignment`` through ``program``.
+
+        Unlike :meth:`_extend_assignment` (which short-circuits at the
+        first witness), every consistent combination of bucket rows is
+        visited — one yield per derivation.  When a step binds no new
+        variable its bucket is keyed on every column, so it holds at most
+        one row and contributes at most one choice.
+        """
+        if step == len(program):
+            yield assignment
+            return
+        index, shared, shared_positions, new_names, new_positions = program[step]
+        relation = binding_relations[index]
+        if shared_positions:
+            key = tuple(assignment[name] for name in shared)
+            bucket = relation.probe(shared_positions, key)
+        else:
+            bucket = relation.rows
+        if not bucket:
+            return
+        if not new_names:
+            yield from self._iter_assignments(
+                program, step + 1, assignment, binding_relations
+            )
+            return
+        for bucket_row in bucket:
+            extended = dict(assignment)
+            for name, position in zip(new_names, new_positions):
+                extended[name] = bucket_row[position]
+            yield from self._iter_assignments(
+                program, step + 1, extended, binding_relations
+            )
+
+    def _evaluate_limited(
+        self, relations: List[Relation], injective: bool, limit: int
+    ) -> Relation:
+        """Existence-mode evaluation: stop once ``limit`` bindings exist."""
+        result = Relation(self.variable_names)
+        if limit < 1 or any(len(relation) == 0 for relation in relations):
+            return result
+        for answer in self.iter_derivations(relations, injective=injective):
+            result.add(answer)
+            if len(result.rows) >= limit:
+                break
+        return result
+
+    # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
-    def _join_bindings(
-        self,
-        relations: List[Relation],
-        join_cache: JoinCache | None,
-        injective: bool,
-    ) -> Relation:
+    def _is_injective(self, values: Iterable[object]) -> bool:
+        """``True`` when ``values`` plus the plan's literals are pairwise distinct."""
+        combined = tuple(values) + self._literal_values
+        return len(set(combined)) == len(combined)
+
+    def _join_bindings(self, relations: List[Relation], injective: bool) -> Relation:
         if not relations:
             return Relation(self.variable_names)
         if any(len(relation) == 0 for relation in relations):
@@ -370,7 +507,7 @@ class QueryEvaluationPlan:
         order = sorted(range(len(relations)), key=lambda i: (len(relations[i]), i))
         current = relations[order[0]]
         for index in order[1:]:
-            current = natural_join(current, relations[index], cache=join_cache)
+            current = natural_join(current, relations[index])
             if not current:
                 break
         # Normalise the column order to the plan's variable order.

@@ -8,8 +8,11 @@ is the representation used for
 * query-level binding tables (schema of variable names).
 
 Joins are classic hash joins with a build and a probe phase, exactly as
-described in Section 4.2 of the paper; the build side can be cached and
-reused by the ``+`` engine variants (see :mod:`repro.matching.cache`).
+described in Section 4.2 of the paper.  The build-side hash tables are the
+relations' own *maintained indexes* — persistent buckets patched in place by
+every mutation (:meth:`Relation.ensure_index` / :meth:`Relation.probe`) —
+so joining repeatedly against a stable relation reuses an incrementally
+maintained structure instead of rebuilding one per call.
 """
 
 from __future__ import annotations
@@ -397,7 +400,6 @@ _build_index = build_row_index
 def extend_path_rows(
     rows: Iterable[Row],
     base: Relation,
-    cache=None,
     *,
     direction: str = "forward",
 ) -> List[Row]:
@@ -413,8 +415,6 @@ def extend_path_rows(
     Probes go through the base view's maintained adjacency index
     (``source -> rows`` / ``target -> rows``), which is patched in place by
     the view's own mutations — each probe is O(bucket), never O(|view|).
-    ``cache`` is accepted for backwards compatibility and ignored: the
-    maintained index subsumes the build-side :class:`JoinCache` tables.
     """
     extended: List[Row] = []
     if direction == "forward":
@@ -434,17 +434,17 @@ def extend_path_rows(
     return extended
 
 
-def natural_join(left: Relation, right: Relation, cache=None) -> Relation:
+def natural_join(left: Relation, right: Relation) -> Relation:
     """Natural join of two relations on their shared column names.
 
-    The smaller relation is used as the build side (as in the paper's hash
-    join description); its hash table is the relation's own *maintained
-    index* over the join columns, so joining repeatedly against a stable
-    relation (e.g. a cached binding table) reuses an incrementally patched
-    structure instead of rebuilding one.  When ``cache`` (a
-    :class:`~repro.matching.cache.JoinCache`) is explicitly provided it is
-    honoured instead, for backwards compatibility.  With no shared columns
-    the result is the Cartesian product.
+    The build side's hash table is the relation's own *maintained index*
+    over the join columns, so joining repeatedly against a stable relation
+    (e.g. a maintained binding table) reuses an incrementally patched
+    structure instead of rebuilding one.  A side that already carries a
+    maintained index over the join columns is preferred as the build side
+    even when larger (its "build phase" is free); otherwise the smaller
+    side builds, as in the paper's hash-join description.  With no shared
+    columns the result is the Cartesian product.
     """
     shared = [c for c in left.schema if c in right.schema]
     right_only = [c for c in right.schema if c not in shared]
@@ -483,10 +483,7 @@ def natural_join(left: Relation, right: Relation, cache=None) -> Relation:
         build_rel, build_positions = left, left_positions
         probe_rel, probe_pos = right, right_key_pos
 
-    if cache is not None:
-        lookup = cache.build_index(build_rel, build_positions).get
-    else:
-        lookup = build_rel.index_map(build_positions).get
+    lookup = build_rel.index_map(build_positions).get
 
     rows: Set[Row] = set()
     if build_is_right:

@@ -51,6 +51,10 @@ class ReplayResult:
     matched_updates: int = 0
     timed_out: bool = False
     memory_bytes: Optional[int] = None
+    #: ``matches_of`` polling (``poll_every``): per-poll-round timings and
+    #: the total number of answer dictionaries decoded across the replay.
+    polling: TimingStats = field(default_factory=TimingStats)
+    answers_decoded: int = 0
 
     @property
     def answering_time_ms_per_update(self) -> float:
@@ -87,6 +91,9 @@ class ReplayResult:
             "matched_updates": self.matched_updates,
             "timed_out": self.timed_out,
             "memory_bytes": self.memory_bytes,
+            "polls": self.polling.count,
+            "total_polling_s": round(self.polling.total_seconds, 6),
+            "answers_decoded": self.answers_decoded,
         }
 
 
@@ -103,6 +110,13 @@ class StreamRunner:
         answer-equivalent but amortizes per-update overhead.  In batched
         mode listeners are invoked once per non-empty batch with the batch's
         final update and the union of the notified query ids.
+    poll_every:
+        When positive, every ``poll_every`` processed updates the runner
+        polls :meth:`~repro.core.engine.ContinuousEngine.matches_of` for
+        every currently satisfied query — the ``matches_of``-heavy workload
+        that differentiates the answer-materialising ``+`` engines from
+        their base variants.  Poll rounds are timed separately from
+        answering (``ReplayResult.polling`` / ``answers_decoded``).
     """
 
     def __init__(
@@ -112,13 +126,17 @@ class StreamRunner:
         listeners: Sequence[MatchListener] = (),
         time_budget_s: Optional[float] = None,
         batch_size: int = 1,
+        poll_every: int = 0,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if poll_every < 0:
+            raise ValueError("poll_every must not be negative")
         self.engine = engine
         self.listeners: List[MatchListener] = list(listeners)
         self.time_budget_s = time_budget_s
         self.batch_size = batch_size
+        self.poll_every = poll_every
         self.indexing_time_s = 0.0
 
     # ------------------------------------------------------------------
@@ -166,6 +184,7 @@ class StreamRunner:
         budget = self.time_budget_s
         elapsed_total = 0.0
         per_update = self.batch_size == 1
+        updates_since_poll = 0
         for start_index in range(0, len(updates), self.batch_size):
             chunk = updates[start_index : start_index + self.batch_size]
             start = time.perf_counter()
@@ -182,6 +201,19 @@ class StreamRunner:
                 result.matches_emitted += len(matched)
                 for listener in self.listeners:
                     listener(chunk[-1], matched)
+            if self.poll_every:
+                updates_since_poll += len(chunk)
+                if updates_since_poll >= self.poll_every:
+                    # Keep the remainder so batched replays still poll every
+                    # ~poll_every updates, not every ceil(poll_every /
+                    # batch_size) batches.
+                    updates_since_poll -= self.poll_every
+                    poll_start = time.perf_counter()
+                    for query_id in sorted(self.engine.satisfied_queries()):
+                        result.answers_decoded += len(self.engine.matches_of(query_id))
+                    poll_elapsed = time.perf_counter() - poll_start
+                    result.polling.record(poll_elapsed)
+                    elapsed_total += poll_elapsed
             if budget is not None and elapsed_total > budget:
                 result.timed_out = True
                 break

@@ -69,11 +69,11 @@ class TestAnswering:
 
 
 class TestCachingVariants:
-    def test_plus_variants_report_cache_enabled(self):
-        assert INVPlusEngine().cache_enabled
-        assert INCPlusEngine().cache_enabled
-        assert not INVEngine().cache_enabled
-        assert not INCEngine().cache_enabled
+    def test_plus_variants_report_answer_materialisation(self):
+        assert INVPlusEngine().materializes_answers
+        assert INCPlusEngine().materializes_answers
+        assert not INVEngine().materializes_answers
+        assert not INCEngine().materializes_answers
 
     def test_names(self):
         assert INVEngine().name == "INV"

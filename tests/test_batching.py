@@ -103,18 +103,28 @@ class TestFallbackBatching:
 
 
 class TestDeletionHotPath:
-    def test_counting_deletions_never_rebuild_subtrees(self, monkeypatch):
+    def test_counting_deletions_never_rebuild_wholesale(self, monkeypatch):
+        """No relation on the stream path is replaced wholesale by a deletion.
+
+        ``Relation.replace_rows`` is the wholesale-rebuild primitive (it
+        bumps the epoch and re-buckets every maintained index); with the
+        counting delta pipeline it must never run while updates stream
+        through an already indexed engine.
+        """
+        from repro.matching.relation import Relation
+
         engine = TRICPlusEngine()
         rng, queries = _random_workload(seed=21, num_queries=6)
         engine.register_all(queries)
 
         def _no_rebuild(*args, **kwargs):  # pragma: no cover - fails the test
-            raise AssertionError("counting deletions must not rebuild sub-tries")
+            raise AssertionError("counting deletions must not rebuild wholesale")
 
-        monkeypatch.setattr(engine, "_rebuild_subtree", _no_rebuild)
-        monkeypatch.setattr(engine._join_cache, "clear", _no_rebuild)
+        monkeypatch.setattr(Relation, "replace_rows", _no_rebuild)
         for update in _random_stream(rng, num_updates=120, deletion_rate=0.4):
             engine.on_update(update)
+            for query in queries[:2]:
+                engine.matches_of(query.query_id)
 
     def test_binding_cache_survives_deletions(self):
         engine = TRICPlusEngine()
@@ -128,22 +138,17 @@ class TestDeletionHotPath:
         engine.on_update(delete(edge.label, edge.source, edge.target))
         assert len(engine._binding_cache) >= populated  # patched, not cleared
 
-    @pytest.mark.parametrize("factory", [TRICEngine, TRICPlusEngine])
-    def test_rebuild_strategy_agrees_with_counting(self, factory):
+    def test_base_and_materialising_variants_agree_under_churn(self):
         rng, queries = _random_workload(seed=31, num_queries=8)
         updates = _random_stream(rng, num_updates=100, deletion_rate=0.3)
-        counting = factory()
-        rebuild = factory(deletion_strategy="rebuild")
-        for engine in (counting, rebuild):
+        plain = TRICEngine()
+        materialising = TRICPlusEngine()
+        for engine in (plain, materialising):
             engine.register_all(queries)
         for update in updates:
-            assert counting.on_update(update) == rebuild.on_update(update)
+            assert plain.on_update(update) == materialising.on_update(update)
         for query in queries:
-            assert counting.matches_of(query.query_id) == rebuild.matches_of(query.query_id)
-
-    def test_unknown_deletion_strategy_rejected(self):
-        with pytest.raises(ValueError):
-            TRICEngine(deletion_strategy="wipe")
+            assert plain.matches_of(query.query_id) == materialising.matches_of(query.query_id)
 
 
 class TestBatchedStreamRunner:

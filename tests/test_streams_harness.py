@@ -120,6 +120,28 @@ class TestStreamRunner:
         assert not result.completed
         assert result.updates_processed < len(stream)
 
+    def test_poll_every_decodes_satisfied_answers(self, checkin_query, checkin_stream):
+        runner = StreamRunner(TRICPlusEngine(), poll_every=1)
+        runner.index_queries([checkin_query])
+        result = runner.replay(checkin_stream)
+        assert result.polling.count == len(checkin_stream)
+        # The final poll rounds see the satisfied query and decode answers.
+        assert result.answers_decoded >= 1
+        as_dict = result.as_dict()
+        assert as_dict["polls"] == result.polling.count
+        assert as_dict["answers_decoded"] == result.answers_decoded
+
+    def test_polling_disabled_by_default(self, checkin_query, checkin_stream):
+        runner = StreamRunner(TRICEngine())
+        runner.index_queries([checkin_query])
+        result = runner.replay(checkin_stream)
+        assert result.polling.count == 0
+        assert result.answers_decoded == 0
+
+    def test_negative_poll_every_rejected(self):
+        with pytest.raises(ValueError):
+            StreamRunner(TRICEngine(), poll_every=-1)
+
     def test_replay_accepts_plain_sequences(self, checkin_query):
         runner = StreamRunner(TRICEngine())
         runner.index_queries([checkin_query])

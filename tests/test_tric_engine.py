@@ -141,9 +141,10 @@ class TestDeletions:
 
 
 class TestCachingVariant:
-    def test_tric_plus_reports_cache_enabled(self):
-        assert TRICPlusEngine().cache_enabled
-        assert not TRICEngine().cache_enabled
+    def test_tric_plus_reports_answer_materialisation(self):
+        assert TRICPlusEngine().materializes_answers
+        assert not TRICEngine().materializes_answers
+        assert TRICPlusEngine().describe()["materialize_answers"]
 
     def test_tric_and_tric_plus_agree(self, checkin_query, checkin_stream):
         plain = TRICEngine()

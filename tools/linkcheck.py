@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Check that local markdown links resolve to files in the repository.
+
+Usage::
+
+    python tools/linkcheck.py README.md docs/ARCHITECTURE.md
+
+Scans every ``[text](target)`` occurrence; targets that are external
+(``http(s)://``, ``mailto:``) or pure anchors are skipped, everything else
+must exist relative to the linking file (anchors and line fragments are
+stripped first).  Exits non-zero listing the broken links.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(path: Path) -> list[str]:
+    broken = []
+    for target in LINK_PATTERN.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        if not (path.parent / local).exists():
+            broken.append(f"{path}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: linkcheck.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            failures.append(f"{name}: file not found")
+            continue
+        failures.extend(broken_links(path))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if not failures:
+        print(f"checked {len(argv)} file(s): all local links resolve")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
