@@ -609,3 +609,168 @@ def test_deletion_invalidation_plus_engines_beat_base():
                 f"{base_name}+: invalidation workload regressed vs {base_name} "
                 f"({r['plus_s']:.3f}s vs {r['base_s']:.3f}s)"
             )
+
+
+# ----------------------------------------------------------------------
+# Subscription delivery vs poll_every polling (the pub/sub serving layer)
+# ----------------------------------------------------------------------
+#: Queries a serving listener subscribes to (the k of k-of-n) and the shard
+#: counts the broker is exercised over.
+SUBSCRIBED_QUERIES = 5
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _drive_poll_all(updates: Sequence[Update], workload, *, poll_every: int, repeats: int):
+    """poll_every baseline: decode every satisfied query's answers per round."""
+    best = float("inf")
+    polls = answers = 0
+    engine = None
+    for _ in range(repeats):
+        engine = create_engine("TRIC+")
+        runner = StreamRunner(engine)
+        runner.index_queries(workload.queries)
+        polls = answers = 0
+        start = time.perf_counter()
+        for index in range(0, len(updates), poll_every):
+            engine.on_batch(updates[index : index + poll_every])
+            for query_id in sorted(engine.satisfied_queries()):
+                answers += len(engine.matches_of(query_id))
+                polls += 1
+        best = min(best, time.perf_counter() - start)
+    return best, polls, answers, engine
+
+
+def _drive_subscribed(
+    updates: Sequence[Update], workload, *, shards: int, poll_every: int, repeats: int
+):
+    """Subscription mode: broker-delivered match deltas for k-of-n queries."""
+    from repro.engines import create_sharded_engine
+    from repro.bench.experiments import pick_subscribed_queries
+    from repro.pubsub import SubscriptionBroker, replay_deltas
+
+    best = float("inf")
+    received: List = []
+    engine = None
+    subscribed: List[str] = []
+    for _ in range(repeats):
+        engine = create_sharded_engine("TRIC+", shards)
+        runner = StreamRunner(engine)
+        runner.index_queries(workload.queries)
+        broker = SubscriptionBroker(engine)
+        subscribed = pick_subscribed_queries(list(engine.queries), SUBSCRIBED_QUERIES)
+        subscription = broker.subscribe("bench", subscribed)
+        received = []
+        start = time.perf_counter()
+        for index in range(0, len(updates), poll_every):
+            broker.on_batch(updates[index : index + poll_every])
+            received.extend(subscription.drain())
+        best = min(best, time.perf_counter() - start)
+    state = replay_deltas(received)
+    reconstructed = {
+        query_id: sorted(state.get(query_id, set())) for query_id in subscribed
+    }
+    return best, received, reconstructed, subscribed, engine
+
+
+def test_subscription_delivery_beats_polling():
+    """Broker-delivered k-of-n match deltas beat polling every satisfied query.
+
+    Also the sharding equivalence gate: the reconstructed per-query states
+    (cumulative delivered deltas) must be byte-identical across 1, 2 and 4
+    shards and equal to a fresh ``matches_of`` on every side.
+    """
+    scale = min(bench_scale_from_env(default=DEFAULT_SCALE), POLLING_SCALE_CAP)
+    updates, workload = _deletion_heavy_workload(scale)
+    poll_every = _poll_cadence(len(updates))
+    repeats = _repeats_for(scale)
+
+    poll_s, polls, answers_decoded, poll_engine = _drive_poll_all(
+        updates, workload, poll_every=poll_every, repeats=repeats
+    )
+
+    per_shard: Dict[str, Dict[str, float]] = {}
+    reconstructions: Dict[int, str] = {}
+    deltas_delivered = 0
+    subscribed: List[str] = []
+    for shards in SHARD_COUNTS:
+        sub_s, received, reconstructed, subscribed, engine = _drive_subscribed(
+            updates, workload, shards=shards, poll_every=poll_every, repeats=repeats
+        )
+        # Byte-identity gate 1: delivered deltas compose to fresh matches_of
+        # on the engine that produced them *and* on the polling baseline.
+        for query_id in subscribed:
+            expected = [
+                tuple(sorted(b.items())) for b in engine.matches_of(query_id)
+            ]
+            assert reconstructed[query_id] == sorted(set(expected)), (shards, query_id)
+            baseline = [
+                tuple(sorted(b.items())) for b in poll_engine.matches_of(query_id)
+            ]
+            assert sorted(set(baseline)) == reconstructed[query_id], (shards, query_id)
+        reconstructions[shards] = json.dumps(
+            {q: [list(map(list, key)) for key in rows] for q, rows in reconstructed.items()},
+            sort_keys=True,
+        )
+        deltas_delivered = len(received)
+        per_shard[str(shards)] = round(sub_s, 4)
+
+    # Byte-identity gate 2: identical reconstructions across shard counts.
+    assert len(set(reconstructions.values())) == 1, "sharded answers diverged"
+
+    results = {
+        "TRIC+": {
+            "poll_all_s": round(poll_s, 4),
+            "polls": polls,
+            "answers_decoded": answers_decoded,
+            "subscribe_s": per_shard,
+            "subscribed": len(subscribed),
+            "deltas_delivered": deltas_delivered,
+            "speedup_vs_poll": round(poll_s / float(per_shard["1"]), 2),
+        }
+    }
+    print()
+    print(
+        f"subscription vs polling ({len(updates)} updates, poll_every={poll_every}, "
+        f"{len(subscribed)}-of-{len(workload.queries)} subscribed)"
+    )
+    rows = [
+        (
+            "TRIC+",
+            f"{poll_s:.3f}",
+            *(f"{per_shard[str(s)]:.3f}" for s in SHARD_COUNTS),
+            f"{results['TRIC+']['speedup_vs_poll']:.2f}x",
+        )
+    ]
+    print(
+        format_table(
+            ("engine", "poll-all (s)", "sub x1 (s)", "sub x2 (s)", "sub x4 (s)", "speedup"),
+            rows,
+        )
+    )
+    _write_json(
+        {
+            "subscription_delivery": {
+                "scale": scale,
+                "num_updates": len(updates),
+                "num_queries": len(workload.queries),
+                "poll_every": poll_every,
+                "engines": results,
+            }
+        }
+    )
+    # Delivering deltas for k watched queries must beat decoding every
+    # satisfied query's full answer set each round.  At the committed scale
+    # this holds for *every* shard count (the replay is single-threaded, so
+    # sharding adds serialized fan-out overhead and can only lose ground
+    # here — its win is per-shard parallelism and index locality at real
+    # deployment scale); below the strict scale the answer sets are tiny
+    # and fixed per-shard overheads dominate, so CI smokes hold only the
+    # unsharded comparison to a noise bound (identity stays asserted above).
+    strict = scale >= STRICT_PAIR_SCALE
+    for shards in SHARD_COUNTS if strict else (1,):
+        sub_s = float(per_shard[str(shards)])
+        ceiling = 1.0 if strict else PAIR_NOISE_TOLERANCE
+        assert sub_s < poll_s * ceiling, (
+            f"subscription mode (x{shards}) not cheaper than polling "
+            f"({sub_s:.3f}s vs {poll_s:.3f}s)"
+        )

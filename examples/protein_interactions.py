@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from repro import QueryBuilder, TRICEngine, TRICPlusEngine, create_engine
 from repro.datasets import BioGridConfig, BioGridGenerator
-from repro.streams import NotificationLog, StreamRunner, format_replay_results
+from repro.streams import StreamRunner, format_replay_results
 
 PROTEIN_OF_INTEREST = "protein7"
 
@@ -61,29 +61,36 @@ def main() -> None:
     print("stream statistics:", stream.statistics())
     queries = build_queries()
 
-    notifications = NotificationLog()
     results = []
     first_hit = {}
+    deltas_delivered = 0
     for name in ("TRIC+", "TRIC", "INV"):
         engine = create_engine(name)
-        listeners = [notifications] if name == "TRIC+" else []
-        runner = StreamRunner(engine, listeners=listeners, time_budget_s=120)
+        runner = StreamRunner(engine, time_budget_s=120)
         runner.index_queries(queries)
+        # Subscribe to every motif on the fastest engine: the broker
+        # delivers the appearing/disappearing embeddings as match deltas.
+        # ``block`` keeps delivery lossless (we drain once, after the
+        # replay, and want the *first* appearance of each motif).
+        subscription = (
+            runner.subscribe(policy="block") if name == "TRIC+" else None
+        )
         results.append(runner.replay(stream))
-        if name == "TRIC+":
-            for record in notifications.notifications:
-                for query_id in record["queries"]:
-                    first_hit.setdefault(query_id, record["timestamp"])
+        if subscription is not None:
+            for delta in subscription.drain():
+                deltas_delivered += 1
+                if delta.added:
+                    first_hit.setdefault(delta.query_id, delta.timestamp)
 
     print()
     print(format_replay_results(results))
     print()
-    print("first update at which each motif appeared (TRIC+ notifications):")
+    print("first update at which each motif appeared (TRIC+ match deltas):")
     for query in queries:
         timestamp = first_hit.get(query.query_id)
         status = f"update #{timestamp}" if timestamp is not None else "never"
         print(f"  {query.query_id:15s} {status}")
-    print(f"\ntotal notifications delivered: {len(notifications)}")
+    print(f"\ntotal match deltas delivered: {deltas_delivered}")
 
 
 if __name__ == "__main__":

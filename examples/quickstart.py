@@ -9,8 +9,8 @@ place.  Run with::
 
 from __future__ import annotations
 
-from repro import QueryBuilder, TRICPlusEngine, add
-from repro.streams import NotificationLog, StreamRunner
+from repro import QueryBuilder, SubscriptionBroker, TRICPlusEngine, add
+from repro.streams import StreamRunner
 
 
 def main() -> None:
@@ -30,10 +30,15 @@ def main() -> None:
     engine = TRICPlusEngine()
     engine.register(checkin_query)
 
-    # 3. Feed the graph stream.  The runner measures answering time and
-    #    forwards notifications to listeners.
-    notifications = NotificationLog()
-    runner = StreamRunner(engine, listeners=[notifications])
+    # 3. Subscribe to the query: the broker delivers *match deltas* — the
+    #    answer bindings that appeared or disappeared — instead of bare
+    #    "query satisfied" notifications.
+    broker = SubscriptionBroker(engine)
+    inbox = broker.subscribe("quickstart", ["friends-checkin"])
+
+    # 4. Feed the graph stream.  The runner measures answering time and
+    #    routes every update through the broker.
+    runner = StreamRunner(broker=broker)
     stream = [
         add("knows", "P1", "P2"),
         add("checksIn", "P1", "rio"),
@@ -42,16 +47,16 @@ def main() -> None:
     ]
     result = runner.replay(stream)
 
-    # 4. Inspect the outcome.
+    # 5. Inspect the outcome.
     print("updates processed:     ", result.updates_processed)
     print("answering ms/update:   ", f"{result.answering_time_ms_per_update:.4f}")
     print("queries satisfied:     ", sorted(engine.satisfied_queries()))
     print("embeddings of the query:")
     for embedding in engine.matches_of("friends-checkin"):
         print("   ", embedding)
-    print("notifications delivered:")
-    for record in notifications.notifications:
-        print("   ", record)
+    print("match deltas delivered:")
+    for delta in inbox.drain():
+        print(f"    t={delta.timestamp} +{list(delta.added)} -{list(delta.removed)}")
 
 
 if __name__ == "__main__":

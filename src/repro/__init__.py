@@ -44,6 +44,7 @@ from .engines import (
     available_engines,
     create_engine,
     create_engines,
+    create_sharded_engine,
 )
 from .graph import (
     Edge,
@@ -54,6 +55,14 @@ from .graph import (
     UpdateKind,
     add,
     delete,
+)
+from .pubsub import (
+    MatchDelta,
+    NotificationLog,
+    OverflowPolicy,
+    ShardedEngineGroup,
+    Subscription,
+    SubscriptionBroker,
 )
 from .query import (
     CoveringPath,
@@ -106,4 +115,12 @@ __all__ = [
     "available_engines",
     "create_engine",
     "create_engines",
+    "create_sharded_engine",
+    # pub/sub serving layer
+    "SubscriptionBroker",
+    "Subscription",
+    "MatchDelta",
+    "OverflowPolicy",
+    "ShardedEngineGroup",
+    "NotificationLog",
 ]

@@ -80,6 +80,15 @@ class ExperimentConfig:
     #: their base variants (0 disables polling, the paper's original
     #: notification-only protocol).
     poll_every: int = 0
+    #: When positive, run the replay in *subscription mode*: a
+    #: :class:`~repro.pubsub.broker.SubscriptionBroker` delivers match
+    #: deltas for ``subscribe`` queries picked evenly across the registered
+    #: query database (the k-of-n serving workload) instead of the
+    #: poll-every-satisfied-query loop.
+    subscribe: int = 0
+    #: Number of engine shards the query database is partitioned across
+    #: (1 = the unsharded engines the paper evaluates).
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -90,6 +99,10 @@ class ExperimentConfig:
             raise BenchmarkError("batch_size must be at least 1")
         if self.poll_every < 0:
             raise BenchmarkError("poll_every must not be negative")
+        if self.subscribe < 0:
+            raise BenchmarkError("subscribe must not be negative")
+        if self.shards < 1:
+            raise BenchmarkError("shards must be at least 1")
 
     # ------------------------------------------------------------------
     # Scaled sizes
@@ -133,4 +146,6 @@ class ExperimentConfig:
             "seed": self.seed,
             "batch_size": self.batch_size,
             "poll_every": self.poll_every,
+            "subscribe": self.subscribe,
+            "shards": self.shards,
         }

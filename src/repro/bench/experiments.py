@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..datasets import BioGridConfig, BioGridGenerator, SNBConfig, SNBGenerator, TaxiConfig, TaxiGenerator
-from ..engines import create_engine
+from ..engines import create_engine, create_sharded_engine
 from ..graph.errors import BenchmarkError
 from ..graph.stream import GraphStream
 from ..query.generator import QueryWorkload, QueryWorkloadConfig, QueryWorkloadGenerator
@@ -38,6 +38,7 @@ __all__ = [
     "run_experiment",
     "build_stream",
     "build_workload",
+    "pick_subscribed_queries",
 ]
 
 
@@ -231,6 +232,18 @@ def build_workload(
     return QueryWorkloadGenerator(graph, config).generate()
 
 
+def pick_subscribed_queries(query_ids: Sequence[str], k: int) -> List[str]:
+    """``k`` query ids spread evenly across the sorted query database.
+
+    The deterministic k-of-n selection used by subscription-mode replays
+    (``ExperimentConfig.subscribe``) and ``repro-serve``.
+    """
+    ordered = sorted(query_ids)
+    k = max(1, min(k, len(ordered)))
+    stride = len(ordered) / k
+    return [ordered[int(index * stride)] for index in range(k)]
+
+
 def _replay_engine(
     engine_name: str,
     workload: QueryWorkload,
@@ -240,9 +253,17 @@ def _replay_engine(
     measure_memory: bool,
     batch_size: int = 1,
     poll_every: int = 0,
+    subscribe: int = 0,
+    shards: int = 1,
 ) -> Tuple[ReplayResult, float]:
-    """Index the workload, replay the stream; returns (result, indexing seconds)."""
-    engine = create_engine(engine_name)
+    """Index the workload, replay the stream; returns (result, indexing seconds).
+
+    With ``shards > 1`` the query database is partitioned across a
+    :class:`~repro.pubsub.sharding.ShardedEngineGroup`; with
+    ``subscribe > 0`` the replay runs in subscription mode (a broker
+    delivering match deltas for ``subscribe`` evenly picked queries).
+    """
+    engine = create_sharded_engine(engine_name, shards)
     runner = StreamRunner(
         engine,
         time_budget_s=time_budget_s,
@@ -250,6 +271,8 @@ def _replay_engine(
         poll_every=poll_every,
     )
     indexing_s = runner.index_queries(workload.queries)
+    if subscribe > 0:
+        runner.subscribe(pick_subscribed_queries(list(engine.queries), subscribe))
     result = runner.replay(stream, measure_memory=measure_memory)
     return result, indexing_s
 
@@ -322,6 +345,8 @@ def _graph_size_sweep(
             measure_memory=config.measure_memory,
             batch_size=config.batch_size,
             poll_every=config.poll_every,
+            subscribe=config.subscribe,
+            shards=config.shards,
         )
         samples = replay.answering.samples
         for checkpoint in checkpoints:
@@ -381,6 +406,8 @@ def _parameter_sweep(
                 measure_memory=False,
                 batch_size=config.batch_size,
                 poll_every=config.poll_every,
+                subscribe=config.subscribe,
+                shards=config.shards,
             )
             result.points.append(
                 SeriesPoint(
@@ -539,6 +566,8 @@ def experiment_fig13c(config: ExperimentConfig) -> ExperimentResult:
                 measure_memory=True,
                 batch_size=config.batch_size,
                 poll_every=config.poll_every,
+                subscribe=config.subscribe,
+                shards=config.shards,
             )
             memory_mb = (
                 replay.memory_bytes / (1024 * 1024) if replay.memory_bytes is not None else None

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from ..engines import ANSWER_MATERIALISING_ENGINES, ENGINE_STRATEGIES
+from ..pubsub.serve import parse_subscribe_spec
 from .configs import DEFAULT_BENCH_SCALE
 from .experiments import EXPERIMENTS, ExperimentResult, experiment_ids, run_experiment
 from .figures import FIGURES
@@ -53,6 +54,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "updates (default 0: notification-only replay; polling is the "
                         "workload that separates the answer-materialising '+' engines "
                         "from their base variants)")
+    parser.add_argument("--subscribe", type=parse_subscribe_spec, default=None,
+                        metavar="K[-of-N]",
+                        help="subscription-mode replay: a broker delivers match deltas "
+                        "for K queries picked evenly across the registered query "
+                        "database (the serving workload that subsumes --poll-every "
+                        "for applications watching specific queries)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="partition the query database across N independent engine "
+                        "shards (default 1: the paper's unsharded engines)")
     parser.add_argument("--output", type=Path, default=None,
                         help="directory to write one .txt report per experiment")
     parser.add_argument("--profile", action="store_true",
@@ -120,6 +130,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("--poll-every must not be negative", file=sys.stderr)
             return 2
         overrides["poll_every"] = args.poll_every
+    if args.subscribe is not None:
+        # Parsed as "K" or "K-of-N"; the N part is informational here
+        # (subscribed queries are picked evenly across the registered
+        # query database).
+        subscribe, _ = args.subscribe
+        if subscribe < 0:
+            print("--subscribe must not be negative", file=sys.stderr)
+            return 2
+        overrides["subscribe"] = subscribe
+    if args.shards is not None:
+        if args.shards < 1:
+            print("--shards must be at least 1", file=sys.stderr)
+            return 2
+        overrides["shards"] = args.shards
 
     for experiment_id in selected:
         print(f"=== running {experiment_id} ===", flush=True)

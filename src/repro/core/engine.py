@@ -18,13 +18,29 @@ from __future__ import annotations
 
 import abc
 import types
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, List, Mapping, NamedTuple, Optional, Sequence, Set
 
 from ..graph.elements import Edge, Update, UpdateKind
 from ..graph.errors import DuplicateQueryError, UnknownQueryError
 from ..query.pattern import QueryGraphPattern
 
-__all__ = ["ContinuousEngine"]
+__all__ = ["ContinuousEngine", "MaintainedAnswerSource"]
+
+
+class MaintainedAnswerSource(NamedTuple):
+    """A maintained answer relation exposed for exact delta consumption.
+
+    ``relation`` is a live :class:`~repro.matching.relation.Relation` (its
+    rows are the query's current answers and its *signed delta log* records
+    every answer appearance/disappearance in order) and ``interner`` is the
+    vertex encoding needed to decode its rows back to identifier strings.
+    Consumers (the pub/sub layer's delta tracker) read
+    ``relation.deltas_since(position)`` and must treat a ``uid``/``epoch``
+    change as a wholesale replacement.
+    """
+
+    relation: object
+    interner: object
 
 
 class ContinuousEngine(abc.ABC):
@@ -222,6 +238,25 @@ class ContinuousEngine(abc.ABC):
         what keeps deletion-time invalidation re-checks O(witness).
         """
         return bool(self.matches_of(query_id))
+
+    def answer_delta_source(self, query_id: str) -> Optional[MaintainedAnswerSource]:
+        """Maintained answer relation of ``query_id`` for exact delta reads.
+
+        The narrow delta-emission hook behind the pub/sub layer
+        (:mod:`repro.pubsub`): engines that keep a query's answer relation
+        *maintained* (the answer-materialising tier — see
+        :class:`~repro.matching.answers.MaterializedAnswers`) return it
+        here, so per-listener match deltas are read straight off the
+        relation's signed delta log — O(changed answers) per flush, no
+        ``matches_of`` re-poll.  Engines without an exactly maintained
+        relation for the query return ``None`` (the default) and the
+        consumer falls back to snapshot diffing of ``matches_of``.
+
+        Calling this may materialise the query (the same lazy step a first
+        ``matches_of`` poll performs).
+        """
+        self._require_known(query_id)
+        return None
 
     # ------------------------------------------------------------------
     # Reporting helpers

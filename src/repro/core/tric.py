@@ -42,7 +42,7 @@ from ..matching.plans import QueryEvaluationPlan, bindings_to_dicts
 from ..matching.relation import CountedRelation, Relation, Row, extend_path_rows
 from ..matching.views import EdgeViewRegistry
 from ..query.pattern import QueryGraphPattern
-from .engine import ContinuousEngine
+from .engine import ContinuousEngine, MaintainedAnswerSource
 from .trie import TrieForest, TrieNode
 
 __all__ = ["TRICEngine", "TRICPlusEngine"]
@@ -67,6 +67,15 @@ class TRICEngine(ContinuousEngine):
         O(1) emptiness check.  Queries that are never polled pay nothing —
         their deletion re-checks use the same ``evaluate_full(limit=1)``
         witness probe as the base engine.
+    answer_row_cap:
+        Budget for a query's *first-poll* materialisation.  The first
+        ``matches_of`` of a query enumerates every derivation to build its
+        maintained relation; with a cap, a query whose answer set exceeds
+        ``answer_row_cap`` distinct rows aborts the rebuild (bounding the
+        first-poll latency to O(cap)) and spills to the on-demand paths —
+        ``evaluate_full`` for answers, the ``limit=1`` witness probe for
+        deletion invalidation — until a wholesale change retries it.
+        ``None`` (the default) materialises unconditionally.
     injective:
         Require injective (isomorphism) answer semantics.
     interner:
@@ -82,11 +91,15 @@ class TRICEngine(ContinuousEngine):
         self,
         *,
         materialize_answers: bool = False,
+        answer_row_cap: int | None = None,
         injective: bool = False,
         interner: VertexInterner | None = None,
     ) -> None:
         super().__init__(injective=injective)
+        if answer_row_cap is not None and answer_row_cap < 1:
+            raise ValueError("answer_row_cap must be at least 1 (or None)")
         self.materializes_answers = materialize_answers
+        self.answer_row_cap = answer_row_cap
         self._forest = TrieForest()
         self._views = EdgeViewRegistry(interner=interner)
         self._plans: Dict[str, QueryEvaluationPlan] = {}
@@ -342,13 +355,15 @@ class TRICEngine(ContinuousEngine):
         the query's maintained answer relation (created on the first poll,
         patched by the delta pipeline from then on) — no cross-path join
         runs on this call path.  The base engine joins the maintained
-        per-path binding relations on demand instead.
+        per-path binding relations on demand instead; so does a
+        materialising engine for a query whose budgeted rebuild went over
+        its ``answer_row_cap``.
         """
         self._require_known(query_id)
         if self._answers is not None:
-            return bindings_to_dicts(
-                self._materialized_answers(query_id), self._views.interner
-            )
+            relation = self._materialized_answers(query_id)
+            if relation is not None:
+                return bindings_to_dicts(relation, self._views.interner)
         plan = self._plans[query_id]
         bindings = plan.evaluate_full(
             binding_relations=self._refresh_binding_relations(query_id),
@@ -382,8 +397,14 @@ class TRICEngine(ContinuousEngine):
         )
         return bool(witness)
 
-    def _materialized_answers(self, query_id: str) -> CountedRelation:
-        """The query's maintained answer relation, created/refreshed lazily."""
+    def _materialized_answers(self, query_id: str) -> Optional[CountedRelation]:
+        """The query's maintained answer relation, created/refreshed lazily.
+
+        Returns ``None`` when the query's budgeted rebuild exceeded
+        ``answer_row_cap`` — the caller then spills to the on-demand
+        evaluation paths.  An over-budget maintainer is not retried until
+        a wholesale binding-relation change marks it stale again.
+        """
         assert self._answers is not None
         maintainer = self._answers.get(query_id)
         if maintainer is None:
@@ -396,8 +417,28 @@ class TRICEngine(ContinuousEngine):
         # freshly created maintainer rebuilds from the refreshed relations.
         relations = self._refresh_binding_relations(query_id)
         if maintainer.stale:
-            maintainer.rebuild(relations)
+            if maintainer.over_budget:
+                return None
+            if not maintainer.rebuild(relations, row_cap=self.answer_row_cap):
+                return None
         return maintainer.relation
+
+    def answer_delta_source(self, query_id: str) -> Optional[MaintainedAnswerSource]:
+        """Expose the maintained answer relation for exact delta reads.
+
+        Available exactly when the engine materialises answers and the
+        query's (lazily created) maintained relation is live — the pub/sub
+        delta tracker then consumes answer visibility changes off the
+        relation's signed delta log instead of re-polling ``matches_of``.
+        Over-budget queries (see ``answer_row_cap``) return ``None``.
+        """
+        self._require_known(query_id)
+        if self._answers is None:
+            return None
+        relation = self._materialized_answers(query_id)
+        if relation is None:
+            return None
+        return MaintainedAnswerSource(relation, self._views.interner)
 
     # ------------------------------------------------------------------
     # Maintained per-path binding relations (counting-based projection)
@@ -519,11 +560,13 @@ class TRICPlusEngine(TRICEngine):
     def __init__(
         self,
         *,
+        answer_row_cap: int | None = None,
         injective: bool = False,
         interner: VertexInterner | None = None,
     ) -> None:
         super().__init__(
             materialize_answers=True,
+            answer_row_cap=answer_row_cap,
             injective=injective,
             interner=interner,
         )

@@ -26,6 +26,7 @@ __all__ = [
     "available_engines",
     "create_engine",
     "create_engines",
+    "create_sharded_engine",
 ]
 
 #: Engine name -> zero-argument-friendly factory (keyword args forwarded).
@@ -87,3 +88,33 @@ def create_engine(name: str, **kwargs) -> ContinuousEngine:
 def create_engines(names=PAPER_ENGINES, **kwargs) -> Dict[str, ContinuousEngine]:
     """Instantiate several engines at once, keyed by name."""
     return {name: create_engine(name, **kwargs) for name in names}
+
+
+def create_sharded_engine(
+    name: str, num_shards: int = 1, *, assignment: str = "hash", **kwargs
+) -> ContinuousEngine:
+    """Engine ``name``, sharded across ``num_shards`` instances when > 1.
+
+    With ``num_shards <= 1`` this is exactly :func:`create_engine`;
+    otherwise the query database is partitioned across independent engine
+    instances behind a
+    :class:`~repro.pubsub.sharding.ShardedEngineGroup` (``assignment`` is
+    ``"hash"`` or ``"label"``).  Keyword arguments are forwarded to the
+    underlying engine factory either way.
+    """
+    if num_shards <= 1:
+        return create_engine(name, **kwargs)
+    if name not in ENGINE_FACTORIES:
+        raise EngineError(
+            f"unknown engine {name!r}; available engines: {', '.join(ENGINE_FACTORIES)}"
+        )
+    from .pubsub.sharding import ShardedEngineGroup
+
+    injective = bool(kwargs.pop("injective", False))
+    return ShardedEngineGroup(
+        name,
+        num_shards,
+        assignment=assignment,
+        injective=injective,
+        engine_kwargs=kwargs,
+    )

@@ -47,6 +47,10 @@ class StreamError(ReproError):
     """Raised by the stream replay harness for malformed update streams."""
 
 
+class SubscriptionError(ReproError):
+    """Raised by the pub/sub subscription broker for invalid subscriptions."""
+
+
 class DatasetError(ReproError):
     """Raised by the synthetic dataset generators for invalid configuration."""
 

@@ -83,30 +83,52 @@ class MaterializedAnswers:
     further deltas until the next :meth:`rebuild`.
     """
 
-    __slots__ = ("plan", "injective", "relation", "_stale")
+    __slots__ = ("plan", "injective", "relation", "_stale", "_over_budget")
 
     def __init__(self, plan: QueryEvaluationPlan, *, injective: bool = False) -> None:
         self.plan = plan
         self.injective = injective
         self.relation: CountedRelation = CountedRelation(plan.variable_names)
         self._stale = True
+        self._over_budget = False
 
     @property
     def stale(self) -> bool:
         """``True`` while the relation needs a :meth:`rebuild`."""
         return self._stale
 
+    @property
+    def over_budget(self) -> bool:
+        """``True`` when the last budgeted :meth:`rebuild` hit its row cap.
+
+        An over-budget maintainer stays stale and the owning engine spills
+        the query to the on-demand evaluation paths (``evaluate_full`` for
+        answers, the ``limit=1`` witness probe for invalidation) instead of
+        re-enumerating a huge answer set on every poll.  The flag clears on
+        :meth:`mark_stale` — a wholesale change is the signal to retry.
+        """
+        return self._over_budget
+
     def mark_stale(self) -> None:
         """Invalidate the relation (a binding relation changed wholesale)."""
         self._stale = True
+        self._over_budget = False
 
-    def rebuild(self, binding_relations: Sequence[Relation]) -> None:
+    def rebuild(self, binding_relations: Sequence[Relation], *, row_cap: int | None = None) -> bool:
         """Recompute the relation from the current ``binding_relations``.
 
         Enumerates every derivation through the plan's backtracking
         program (probing the binding relations' maintained indexes), so
         the cost is proportional to the number of derivations, not to the
         cross product of the path relations.
+
+        With ``row_cap`` the enumeration is *budgeted*: once more than
+        ``row_cap`` distinct answers exist the rebuild aborts, the
+        maintainer stays stale and flags itself :attr:`over_budget`, and
+        ``False`` is returned — the owning engine then serves the query
+        through the on-demand ``evaluate_full`` / witness paths, bounding
+        first-poll latency on huge answer sets.  Returns ``True`` when the
+        relation was (re)built.
         """
         relation = CountedRelation(self.plan.variable_names)
         if all(rel.rows for rel in binding_relations):
@@ -114,8 +136,13 @@ class MaterializedAnswers:
                 binding_relations, injective=self.injective
             ):
                 relation.add(answer)
+                if row_cap is not None and len(relation) > row_cap:
+                    self._over_budget = True
+                    return False
         self.relation = relation
         self._stale = False
+        self._over_budget = False
+        return True
 
     def apply_binding_deltas(
         self,

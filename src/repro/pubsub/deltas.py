@@ -1,0 +1,169 @@
+"""Per-query answer-delta derivation for the subscription broker.
+
+A subscriber wants the *changed* answers of its queries, not the full
+satisfied-set the engines report.  :class:`AnswerDeltaTracker` turns any
+:class:`~repro.core.engine.ContinuousEngine` into a source of per-query
+**match deltas** — the binding dictionaries that appeared or disappeared
+since the last flush — through two paths:
+
+fast path (exact, O(changed answers))
+    When the engine exposes a maintained answer relation for the query
+    (:meth:`~repro.core.engine.ContinuousEngine.answer_delta_source` —
+    the TRIC family with ``materialize_answers``; INV+/INC+ do *not*
+    qualify, their caches are not exactly maintained under deletions),
+    the tracker reads the relation's *signed delta log*
+    (``deltas_since``) from its last position.  The delta
+    pipeline already patches that relation on every update, so a flush on
+    an unchanged query costs an empty log slice, and a changed query costs
+    exactly its visibility changes.  A ``uid``/``epoch`` change (lazy
+    rebuild, log compaction) falls back to one set diff against the
+    tracker's snapshot — never a silent reset.
+
+slow path (exact, O(answer set))
+    Engines without a maintained relation for the query (base engines,
+    recompute-style caches, over-budget materialisations) are snapshot
+    diffed: the tracker compares a fresh ``matches_of`` against the last
+    delivered state.  This is the re-polling the fast path avoids, kept as
+    the universal fallback so *every* engine can serve subscriptions.
+
+Answers are tracked as canonical keys — ``tuple(sorted(binding.items()))``
+— which is exactly the per-answer sort key of the engines' canonical
+``matches_of`` order, so delivered deltas compare byte for byte across
+engines and shard counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..core.engine import ContinuousEngine
+
+__all__ = ["AnswerKey", "AnswerDeltaTracker", "canonical_key"]
+
+#: Canonical identity of one answer: variable/vertex items sorted by name.
+AnswerKey = Tuple[Tuple[str, str], ...]
+
+
+def canonical_key(binding: Dict[str, str]) -> AnswerKey:
+    """Canonical, hashable identity of one answer binding dictionary."""
+    return tuple(sorted(binding.items()))
+
+
+class _QueryState:
+    """Tracking state of one watched query."""
+
+    __slots__ = ("snapshot", "uid", "epoch", "log_position")
+
+    def __init__(self) -> None:
+        self.snapshot: Set[AnswerKey] = set()
+        #: Identity of the maintained relation the log position refers to
+        #: (``None`` while on the slow path).
+        self.uid: int | None = None
+        self.epoch: int | None = None
+        self.log_position = 0
+
+
+class AnswerDeltaTracker:
+    """Derive per-query added/removed answer deltas from one engine."""
+
+    def __init__(self, engine: ContinuousEngine) -> None:
+        self.engine = engine
+        self._states: Dict[str, _QueryState] = {}
+
+    # ------------------------------------------------------------------
+    # Watch management
+    # ------------------------------------------------------------------
+    @property
+    def watched(self) -> FrozenSet[str]:
+        """Ids of the queries currently tracked."""
+        return frozenset(self._states)
+
+    def watch(self, query_id: str) -> List[AnswerKey]:
+        """Start tracking ``query_id``; returns its current answers (sorted).
+
+        Idempotent: watching an already tracked query returns the tracked
+        snapshot without touching positions.
+        """
+        state = self._states.get(query_id)
+        if state is None:
+            self._states[query_id] = _QueryState()
+            added, _ = self.collect(query_id)
+            return added
+        return sorted(state.snapshot)
+
+    def unwatch(self, query_id: str) -> None:
+        """Stop tracking ``query_id`` (a re-watch starts from a fresh sync)."""
+        self._states.pop(query_id, None)
+
+    def snapshot(self, query_id: str) -> List[AnswerKey]:
+        """The last synced answers of a watched query (sorted keys)."""
+        return sorted(self._states[query_id].snapshot)
+
+    # ------------------------------------------------------------------
+    # Delta derivation
+    # ------------------------------------------------------------------
+    def collect(self, query_id: str) -> Tuple[List[AnswerKey], List[AnswerKey]]:
+        """Answers of ``query_id`` added/removed since the last collect.
+
+        Returns sorted ``(added, removed)`` canonical keys and advances the
+        tracked snapshot, so consecutive collects compose: replaying every
+        delta ever returned reconstructs the engine's current ``matches_of``
+        set exactly.
+        """
+        state = self._states[query_id]
+        source = self.engine.answer_delta_source(query_id)
+        if source is not None:
+            relation, interner = source
+            schema = relation.schema
+            if state.uid == relation.uid and state.epoch == relation.epoch:
+                return self._collect_from_log(state, relation, schema, interner)
+            # New or wholesale-replaced relation: one set diff resync.
+            current = {
+                self._decode(schema, interner, row) for row in relation.rows
+            }
+            state.uid = relation.uid
+            state.epoch = relation.epoch
+            state.log_position = relation.log_length
+        else:
+            current = {canonical_key(b) for b in self.engine.matches_of(query_id)}
+            state.uid = state.epoch = None
+            state.log_position = 0
+        added = current - state.snapshot
+        removed = state.snapshot - current
+        state.snapshot = current
+        return sorted(added), sorted(removed)
+
+    def _collect_from_log(self, state, relation, schema, interner):
+        """Fast path: replay the maintained relation's signed delta log.
+
+        Visibility changes are netted against the snapshot, so a row that
+        appeared and disappeared within one window (or vice versa) cancels
+        out instead of surfacing as a spurious delta pair.
+        """
+        deltas = relation.deltas_since(state.log_position)
+        state.log_position = relation.log_length
+        if not deltas:
+            return [], []
+        added: Set[AnswerKey] = set()
+        removed: Set[AnswerKey] = set()
+        snapshot = state.snapshot
+        for row, sign in deltas:
+            key = self._decode(schema, interner, row)
+            if sign > 0:
+                if key in removed:
+                    removed.discard(key)
+                elif key not in snapshot:
+                    added.add(key)
+            else:
+                if key in added:
+                    added.discard(key)
+                elif key in snapshot:
+                    removed.add(key)
+        snapshot -= removed
+        snapshot |= added
+        return sorted(added), sorted(removed)
+
+    @staticmethod
+    def _decode(schema, interner, row) -> AnswerKey:
+        """Decode one interned answer row to its canonical key."""
+        return tuple(sorted(zip(schema, interner.decode_row(row))))

@@ -1,0 +1,204 @@
+"""``repro-serve``: replay a dataset while streaming subscribed match deltas.
+
+The serving counterpart of ``repro-bench``: build one of the synthetic
+dataset streams, register a sampled query database on an engine (optionally
+sharded), subscribe a listener to ``k`` of the ``n`` registered queries,
+and replay the stream — every added/removed answer of the subscribed
+queries is printed to stdout as one JSON object per delta, and a summary
+(engine/shard/subscription metrics) goes to stderr.
+
+Usage (also available as ``python -m repro.pubsub.serve``)::
+
+    repro-serve --dataset snb --updates 2000 --queries 100 \
+        --engine TRIC+ --shards 4 --subscribe 5-of-100 --policy coalesce
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..engines import available_engines, create_sharded_engine
+from ..graph.elements import Update, delete
+from ..graph.errors import ReproError
+from .broker import OverflowPolicy, SubscriptionBroker
+
+__all__ = ["main", "build_parser", "pick_subscribed", "parse_subscribe_spec"]
+
+
+def parse_subscribe_spec(spec: str) -> Tuple[int, Optional[int]]:
+    """Parse ``"k"`` or ``"k-of-n"`` into ``(k, n_or_None)``."""
+    parts = spec.split("-of-")
+    try:
+        if len(parts) == 1:
+            return int(parts[0]), None
+        if len(parts) == 2:
+            return int(parts[0]), int(parts[1])
+    except ValueError:
+        pass
+    raise argparse.ArgumentTypeError(
+        f"expected K or K-of-N (e.g. 5 or 5-of-100), got {spec!r}"
+    )
+
+
+def pick_subscribed(query_ids: Sequence[str], k: int, pool: Optional[int] = None) -> List[str]:
+    """``k`` query ids spread evenly across the first ``pool`` (sorted) ids."""
+    from ..bench.experiments import pick_subscribed_queries
+
+    ordered = sorted(query_ids)
+    if pool is not None:
+        ordered = ordered[: max(1, pool)]
+    return pick_subscribed_queries(ordered, k)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Replay a dataset stream while delivering per-listener "
+        "match deltas for subscribed continuous queries.",
+    )
+    parser.add_argument("--dataset", default="snb", choices=("snb", "taxi", "biogrid"),
+                        help="synthetic dataset stream to replay (default snb)")
+    parser.add_argument("--updates", type=int, default=2_000,
+                        help="stream length in updates (default 2000)")
+    parser.add_argument("--queries", type=int, default=100,
+                        help="registered query-database size (default 100)")
+    parser.add_argument("--engine", default="TRIC+",
+                        help="engine name (default TRIC+; see repro-bench --list-engines)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition the query database across N engine shards")
+    parser.add_argument("--assignment", default="hash", choices=("hash", "label"),
+                        help="shard assignment strategy (default hash)")
+    parser.add_argument("--subscribe", type=parse_subscribe_spec, default=(5, None),
+                        metavar="K[-of-N]",
+                        help="subscribe to K queries spread over the first N "
+                        "registered (default 5)")
+    parser.add_argument("--policy", default=OverflowPolicy.COALESCE.value,
+                        choices=[policy.value for policy in OverflowPolicy],
+                        help="subscription overflow policy (default coalesce)")
+    parser.add_argument("--capacity", type=int, default=256,
+                        help="subscription queue capacity (default 256)")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="stream updates per engine micro-batch (default 16)")
+    parser.add_argument("--deletions", type=float, default=0.0, metavar="FRACTION",
+                        help="interleave this fraction of deletions of live edges "
+                        "into the stream (default 0: additions only)")
+    parser.add_argument("--seed", type=int, default=17, help="dataset seed (default 17)")
+    parser.add_argument("--max-deltas", type=int, default=None,
+                        help="stop printing deltas after N (replay continues)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the stderr summary")
+    return parser
+
+
+def _churned(updates: Sequence[Update], fraction: float, seed: int) -> List[Update]:
+    """Interleave deletions of previously added edges into the stream."""
+    if fraction <= 0:
+        return list(updates)
+    rng = random.Random(seed)
+    live: List = []
+    churned: List[Update] = []
+    for update in updates:
+        churned.append(update)
+        live.append(update.edge)
+        if len(live) > 25 and rng.random() < fraction:
+            edge = live.pop(rng.randrange(len(live)))
+            churned.append(delete(edge.label, edge.source, edge.target))
+    return churned
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.updates < 1 or args.queries < 1:
+        parser.error("--updates and --queries must be positive")
+    if args.batch_size < 1:
+        parser.error("--batch-size must be at least 1")
+    if args.engine not in available_engines():
+        parser.error(f"unknown engine {args.engine!r}; known: {', '.join(available_engines())}")
+
+    # Imported lazily: the bench package pulls in the dataset generators,
+    # which this module only needs at run time.
+    from ..bench.experiments import build_stream, build_workload
+
+    try:
+        stream = build_stream(args.dataset, args.updates, args.seed)
+        workload = build_workload(
+            stream,
+            num_queries=args.queries,
+            avg_edges=5,
+            selectivity=0.25,
+            overlap=0.35,
+            seed=args.seed + 1,
+        )
+        engine = create_sharded_engine(
+            args.engine, args.shards, assignment=args.assignment
+        )
+        indexing_start = time.perf_counter()
+        engine.register_all(workload.queries)
+        indexing_s = time.perf_counter() - indexing_start
+
+        broker = SubscriptionBroker(engine)
+        k, pool = args.subscribe
+        subscribed = pick_subscribed(list(engine.queries), k, pool)
+        subscription = broker.subscribe(
+            "serve", subscribed, policy=args.policy, capacity=args.capacity
+        )
+    except ReproError as error:
+        print(f"repro-serve: {error}", file=sys.stderr)
+        return 2
+
+    updates = _churned(list(stream), args.deletions, args.seed + 2)
+    printed = 0
+    delivered = changes = 0
+    out = sys.stdout
+    replay_start = time.perf_counter()
+    for start in range(0, len(updates), args.batch_size):
+        chunk = updates[start : start + args.batch_size]
+        if args.batch_size == 1:
+            broker.on_update(chunk[0])
+        else:
+            broker.on_batch(chunk)
+        for matched in subscription.drain():
+            delivered += 1
+            changes += matched.num_changes
+            if args.max_deltas is None or printed < args.max_deltas:
+                print(json.dumps(matched.as_dict(), sort_keys=True), file=out)
+                printed += 1
+    replay_s = time.perf_counter() - replay_start
+
+    if not args.quiet:
+        summary = {
+            "dataset": args.dataset,
+            "engine": engine.name,
+            "updates": len(updates),
+            "queries": engine.num_queries,
+            "subscribed": sorted(subscribed),
+            "indexing_s": round(indexing_s, 4),
+            "replay_s": round(replay_s, 4),
+            "updates_per_s": round(len(updates) / replay_s, 1) if replay_s else None,
+            "deltas_delivered": delivered,
+            "answers_changed": changes,
+            "subscription": subscription.describe(),
+        }
+        if hasattr(engine, "shard_statistics"):
+            summary["shards"] = [
+                {
+                    "engine": stats.get("engine"),
+                    "queries": stats.get("queries"),
+                    "updates_processed": stats.get("updates_processed"),
+                    "satisfied": stats.get("satisfied"),
+                }
+                for stats in engine.shard_statistics()
+            ]
+        print(json.dumps(summary, indent=2, sort_keys=True), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    raise SystemExit(main())

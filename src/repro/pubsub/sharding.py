@@ -1,0 +1,300 @@
+"""Sharded engine groups: partition the query database across engines.
+
+One engine instance indexes the whole query database; a
+:class:`ShardedEngineGroup` partitions it across ``N`` independent engine
+instances instead — the sharding step of a serving architecture (a broker
+that fans work out to index shards and merges the per-shard results).  The
+group itself implements the full
+:class:`~repro.core.engine.ContinuousEngine` interface, so the replay
+harness, the benchmarks and the :class:`~repro.pubsub.broker.SubscriptionBroker`
+treat it exactly like a single engine:
+
+* :meth:`register` assigns each query to one shard — ``hash`` assignment
+  (stable CRC of the query id) balances blindly; ``label`` assignment
+  routes a query to the shard already owning most of its edge labels,
+  which clusters structurally related queries (maximising trie sharing
+  inside each shard) and narrows the fan-out below,
+* stream updates fan out only to the shards whose queries use the edge's
+  label (an engine without the label ignores the update anyway — the
+  group skips even handing it over),
+* notifications, answers (``matches_of`` routes to the owning shard) and
+  maintained answer-delta sources merge back through the group, and
+  :meth:`describe` / :meth:`shard_statistics` expose per-shard metrics.
+
+Because every query lives in exactly one shard — and a shard that *gains*
+an edge label through a mid-stream registration is backfilled from the
+group's live-edge history (recorded under the same key-matching retention
+rule the unsharded registry applies) — the group's answers are
+byte-identical to an unsharded engine's for any shard count, whether
+queries are registered up front or while the stream is running.  The one
+deliberate divergence: a pattern whose *literal-endpoint* key is first
+registered after matching edges arrived reads those edges from the
+backfill on a fresh shard, where a single engine's new (empty) view would
+have dropped them — the group errs toward the oracle's semantics there.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.engine import ContinuousEngine, MaintainedAnswerSource
+from ..graph.elements import Edge, Update, UpdateKind
+from ..graph.errors import EngineError
+from ..query.pattern import QueryGraphPattern
+from ..query.terms import EdgeKey, candidate_keys_for_edge
+
+__all__ = ["ShardedEngineGroup"]
+
+#: A zero-argument engine factory (one call per shard).
+EngineFactory = Callable[[], ContinuousEngine]
+
+
+class ShardedEngineGroup(ContinuousEngine):
+    """N independent engine instances behind the single-engine interface.
+
+    Parameters
+    ----------
+    engine:
+        Engine name resolved through :data:`repro.engines.ENGINE_FACTORIES`
+        (e.g. ``"TRIC+"``), or a zero-argument factory callable (one call
+        per shard).
+    num_shards:
+        Number of independent shards (``>= 1``).
+    assignment:
+        ``"hash"`` (stable id hash, blind balance) or ``"label"``
+        (label-affinity routing, clusters queries sharing edge labels).
+    engine_kwargs:
+        Extra keyword arguments forwarded to the named engine's factory
+        (ignored when ``engine`` is already a callable).
+    injective:
+        Injective (isomorphism) answer semantics, forwarded to the shards.
+    """
+
+    def __init__(
+        self,
+        engine: "str | EngineFactory" = "TRIC+",
+        num_shards: int = 2,
+        *,
+        assignment: str = "hash",
+        injective: bool = False,
+        engine_kwargs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(injective=injective)
+        if num_shards < 1:
+            raise EngineError("num_shards must be at least 1")
+        if assignment not in ("hash", "label"):
+            raise EngineError(
+                f"unknown shard assignment {assignment!r}; options: hash, label"
+            )
+        self.assignment = assignment
+        if callable(engine):
+            factory = engine
+        else:
+            from ..engines import create_engine
+
+            kwargs = dict(engine_kwargs or {})
+            kwargs.setdefault("injective", injective)
+            engine_name = engine
+            factory = lambda: create_engine(engine_name, **kwargs)  # noqa: E731
+        self.shards: List[ContinuousEngine] = [factory() for _ in range(num_shards)]
+        self.name = f"{self.shards[0].name}x{num_shards}"
+        #: query id -> owning shard index.
+        self._owner: Dict[str, int] = {}
+        #: per-shard edge labels in use (the fan-out filter).
+        self._shard_labels: List[Set[str]] = [set() for _ in self.shards]
+        #: label -> live multigraph edges carrying it (multiplicity-counted).
+        #: This is what lets a shard that *gains* a label through a
+        #: mid-stream registration be backfilled with the edges it never
+        #: received — the sharded group's analogue of the engines'
+        #: ``_backfill_chain`` — keeping its answers byte-identical to an
+        #: unsharded engine's whenever queries are registered.  History
+        #: mirrors the unsharded registry's retention rule: an edge is
+        #: recorded only when a *registered* generalised key (anywhere in
+        #: the group) matches it at arrival, so a late registration sees
+        #: exactly what one engine indexing the whole query database would
+        #: have retained.
+        self._live_edges: Dict[str, Counter] = {}
+        #: every generalised key registered by any query in the group.
+        self._global_keys: Set[EdgeKey] = set()
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the group."""
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # Query assignment
+    # ------------------------------------------------------------------
+    def shard_of(self, query_id: str) -> int:
+        """Owning shard index of a registered query."""
+        self._require_known(query_id)
+        return self._owner[query_id]
+
+    def _assign(self, pattern: QueryGraphPattern) -> int:
+        if self.assignment == "hash":
+            return zlib.crc32(pattern.query_id.encode("utf-8")) % len(self.shards)
+        # Label affinity: the shard already owning most of the pattern's
+        # labels wins; ties break to the least-loaded (then lowest) shard,
+        # which is also where a pattern of entirely new labels lands.
+        # Affinity alone degenerates on small label alphabets (every query
+        # shares labels with shard 0, so everything piles up there), so a
+        # shard more than ~2x ahead of the lightest shard stops attracting
+        # and the choice falls back to the remaining shards — bounded
+        # imbalance, clustering preserved while it is balance-neutral.
+        labels = pattern.edge_labels()
+        loads = [shard.num_queries for shard in self.shards]
+        cap = 2 * min(loads) + 3
+        candidates = [index for index in range(len(loads)) if loads[index] <= cap]
+        return min(
+            candidates,
+            key=lambda index: (
+                -len(labels & self._shard_labels[index]),
+                self.shards[index].num_queries,
+                index,
+            ),
+        )
+
+    def _index_query(self, pattern: QueryGraphPattern) -> None:
+        index = self._assign(pattern)
+        shard = self.shards[index]
+        new_labels = pattern.edge_labels() - self._shard_labels[index]
+        shard.register(pattern)
+        self._owner[pattern.query_id] = index
+        self._shard_labels[index].update(pattern.edge_labels())
+        self._global_keys.update(edge.key for edge in pattern.edges)
+        self._backfill_shard(shard, new_labels)
+
+    def _backfill_shard(self, shard: ContinuousEngine, new_labels: Set[str]) -> None:
+        """Feed a shard the live edges of labels it just started owning.
+
+        A mid-stream registration must leave the owning shard consistent
+        with the whole stream consumed so far, exactly like registering on
+        an unsharded engine: edges of labels the shard already owned were
+        delivered in real time (the engine's own backfill covers those);
+        edges of freshly gained labels were filtered out by the fan-out and
+        are replayed here, one copy per live multigraph multiplicity.  The
+        replay is *silent* — like the engines' registration backfill it
+        must not mark queries satisfied (a query only enters the
+        satisfied-set through a later notification), so the shard's
+        satisfied-set is restored afterwards.
+        """
+        backfill = [
+            Update(Edge(label, source, target))
+            for label in sorted(new_labels)
+            for (source, target), multiplicity in sorted(
+                self._live_edges.get(label, Counter()).items()
+            )
+            for _ in range(multiplicity)
+        ]
+        if not backfill:
+            return
+        satisfied_before = shard.satisfied_queries()
+        shard.on_batch(backfill)
+        shard._satisfied.clear()
+        shard._satisfied.update(satisfied_before)
+
+    def _record_history(self, edges: Sequence[Edge], kind: UpdateKind) -> None:
+        live = self._live_edges
+        if kind is UpdateKind.ADD:
+            global_keys = self._global_keys
+            for edge in edges:
+                # Retention mirrors EdgeViewRegistry: an edge nobody's
+                # registered keys match is dropped, exactly as a single
+                # engine indexing every query would drop it.
+                if not any(key in global_keys for key in candidate_keys_for_edge(edge)):
+                    continue
+                bucket = live.get(edge.label)
+                if bucket is None:
+                    bucket = live[edge.label] = Counter()
+                bucket[(edge.source, edge.target)] += 1
+        else:
+            for edge in edges:
+                bucket = live.get(edge.label)
+                if bucket is None:
+                    continue
+                key: Tuple[str, str] = (edge.source, edge.target)
+                remaining = bucket.get(key, 0)
+                if remaining <= 1:
+                    bucket.pop(key, None)
+                    if not bucket:
+                        del live[edge.label]
+                else:
+                    bucket[key] = remaining - 1
+
+    # ------------------------------------------------------------------
+    # Stream fan-out
+    # ------------------------------------------------------------------
+    def _relevant_shards(self, label: str) -> List[int]:
+        return [
+            index
+            for index, labels in enumerate(self._shard_labels)
+            if label in labels
+        ]
+
+    def _fan_out(self, edges: Sequence[Edge], kind: UpdateKind) -> FrozenSet[str]:
+        """Hand each shard its label-relevant slice of the run, merge ids."""
+        self._record_history(edges, kind)
+        merged: Set[str] = set()
+        for index, shard in enumerate(self.shards):
+            labels = self._shard_labels[index]
+            relevant = [edge for edge in edges if edge.label in labels]
+            if not relevant:
+                continue
+            if len(relevant) == 1:
+                merged.update(shard.on_update(Update(relevant[0], kind)))
+            else:
+                merged.update(
+                    shard.on_batch([Update(edge, kind) for edge in relevant])
+                )
+        return frozenset(merged)
+
+    def _on_addition(self, edge: Edge) -> FrozenSet[str]:
+        return self._fan_out([edge], UpdateKind.ADD)
+
+    def _on_deletion(self, edge: Edge) -> FrozenSet[str]:
+        return self._fan_out([edge], UpdateKind.DELETE)
+
+    def _on_addition_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
+        return self._fan_out(edges, UpdateKind.ADD)
+
+    def _on_deletion_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
+        return self._fan_out(edges, UpdateKind.DELETE)
+
+    # ------------------------------------------------------------------
+    # Answers (routed to the owning shard)
+    # ------------------------------------------------------------------
+    def matches_of(self, query_id: str) -> List[Dict[str, str]]:
+        """Answers of ``query_id``, served by its owning shard."""
+        return self.shards[self.shard_of(query_id)].matches_of(query_id)
+
+    def has_matches(self, query_id: str) -> bool:
+        """Existence probe, served by the owning shard."""
+        return self.shards[self.shard_of(query_id)].has_matches(query_id)
+
+    def answer_delta_source(self, query_id: str) -> Optional[MaintainedAnswerSource]:
+        """Maintained answer relation of the owning shard (if any)."""
+        return self.shards[self.shard_of(query_id)].answer_delta_source(query_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def shard_statistics(self) -> List[Dict[str, object]]:
+        """Per-shard description dictionaries (queries, updates, memory...)."""
+        return [shard.describe() for shard in self.shards]
+
+    def describe(self) -> Dict[str, object]:
+        description = super().describe()
+        description["shards"] = self.num_shards
+        description["assignment"] = self.assignment
+        description["shard_queries"] = [shard.num_queries for shard in self.shards]
+        description["shard_labels"] = [len(labels) for labels in self._shard_labels]
+        description["per_shard"] = self.shard_statistics()
+        return description
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedEngineGroup({self.shards[0].name!r}, "
+            f"num_shards={self.num_shards}, queries={self.num_queries})"
+        )

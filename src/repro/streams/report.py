@@ -1,9 +1,15 @@
-"""Plain-text reporting helpers shared by the benchmark harness and examples."""
+"""Plain-text reporting helpers shared by the benchmark harness and examples.
+
+``NotificationLog`` moved to the pub/sub subsystem
+(:class:`repro.pubsub.broker.NotificationLog`), where it doubles as a
+subscribe-to-all broker adapter; it is re-exported here for compatibility.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Iterable, List, Sequence
 
+from ..pubsub.broker import NotificationLog
 from .runner import ReplayResult
 
 __all__ = ["format_table", "format_replay_results", "NotificationLog"]
@@ -57,33 +63,3 @@ def format_replay_results(results: Iterable[ReplayResult]) -> str:
     return format_table(headers, rows)
 
 
-class NotificationLog:
-    """A match listener that records every notification it receives.
-
-    Useful in examples and tests to observe the pub/sub behaviour of the
-    engines without wiring a real delivery channel.
-    """
-
-    def __init__(self) -> None:
-        self.notifications: List[Dict[str, object]] = []
-
-    def __call__(self, update, matched) -> None:
-        self.notifications.append(
-            {
-                "timestamp": update.timestamp,
-                "edge": str(update.edge),
-                "queries": sorted(matched),
-            }
-        )
-
-    def __len__(self) -> int:
-        return len(self.notifications)
-
-    def queries_notified(self) -> List[str]:
-        """Distinct query ids that have been notified at least once."""
-        seen = []
-        for record in self.notifications:
-            for query_id in record["queries"]:
-                if query_id not in seen:
-                    seen.append(query_id)
-        return seen

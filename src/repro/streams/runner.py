@@ -10,15 +10,20 @@ The runner reproduces the paper's measurement protocol:
   number of updates processed before it was exhausted, which is how the
   "timed out at |GE| = X" asterisks of Figs. 12(f), 13(a) and 14 are
   regenerated,
-* *notification listeners* — pub/sub-style callbacks invoked with every
-  non-empty answer set, which is how applications consume the engine.
+* *subscriptions* — pub/sub delivery of per-listener match deltas through a
+  :class:`~repro.pubsub.broker.SubscriptionBroker` (``broker=`` /
+  ``subscriptions=``), which is how applications consume the engines and
+  which subsumes the older poll-every-satisfied-query loop (``poll_every``)
+  and the bare :data:`MatchListener` callbacks (deprecated, kept as a
+  compatibility shim).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
 
 from ..core.engine import ContinuousEngine
 from ..graph.elements import Update
@@ -29,6 +34,8 @@ from .metrics import TimingStats, deep_sizeof
 __all__ = ["MatchListener", "ReplayResult", "StreamRunner"]
 
 #: Callback invoked with (update, matched query ids) for non-empty answers.
+#: Deprecated in favour of broker subscriptions (which deliver the *changed
+#: answers*, not just the notified ids); kept as a compatibility shim.
 MatchListener = Callable[[Update, FrozenSet[str]], None]
 
 
@@ -55,6 +62,14 @@ class ReplayResult:
     #: the total number of answer dictionaries decoded across the replay.
     polling: TimingStats = field(default_factory=TimingStats)
     answers_decoded: int = 0
+    #: Broker mode (``broker=`` / ``subscriptions=``): deltas delivered to
+    #: subscriptions, answer dictionaries carried by them, and the
+    #: per-policy overflow events observed across the replay.
+    deltas_delivered: int = 0
+    delta_answers: int = 0
+    deltas_dropped: int = 0
+    deltas_coalesced: int = 0
+    backpressure_events: int = 0
 
     @property
     def answering_time_ms_per_update(self) -> float:
@@ -94,6 +109,11 @@ class ReplayResult:
             "polls": self.polling.count,
             "total_polling_s": round(self.polling.total_seconds, 6),
             "answers_decoded": self.answers_decoded,
+            "deltas_delivered": self.deltas_delivered,
+            "delta_answers": self.delta_answers,
+            "deltas_dropped": self.deltas_dropped,
+            "deltas_coalesced": self.deltas_coalesced,
+            "backpressure_events": self.backpressure_events,
         }
 
 
@@ -102,6 +122,23 @@ class StreamRunner:
 
     Parameters
     ----------
+    engine:
+        The engine under measurement.  May be omitted when ``broker`` is
+        given (the broker's engine is used).
+    broker:
+        A :class:`~repro.pubsub.broker.SubscriptionBroker` to drive the
+        stream through: every update (or micro-batch) flows through the
+        broker, which forwards it to the engine and then flushes match
+        deltas to its subscriptions.  Delivery work is timed as part of
+        answering; delivery counts land in the ``deltas_*`` fields of
+        :class:`ReplayResult`.
+    subscriptions:
+        Subscription specs created on the broker before the replay (a
+        broker is created on demand when none was given).  Each spec is a
+        query id, an iterable of query ids, or a mapping of keyword
+        arguments for :meth:`~repro.pubsub.broker.SubscriptionBroker.subscribe`.
+        Note the engine's queries must already be registered; use
+        :meth:`subscribe` after :meth:`index_queries` otherwise.
     batch_size:
         Number of stream updates handed to the engine per call.  ``1`` (the
         default) drives the engine through :meth:`~repro.core.engine.ContinuousEngine.on_update`;
@@ -117,33 +154,96 @@ class StreamRunner:
         that differentiates the answer-materialising ``+`` engines from
         their base variants.  Poll rounds are timed separately from
         answering (``ReplayResult.polling`` / ``answers_decoded``).
+        Broker subscriptions subsume this loop for applications that only
+        watch specific queries; the polling mode is kept for the benchmark
+        comparisons.
+    listeners:
+        Deprecated notification callbacks (see :data:`MatchListener`);
+        subscribe to a broker instead.
     """
 
     def __init__(
         self,
-        engine: ContinuousEngine,
+        engine: Optional[ContinuousEngine] = None,
         *,
         listeners: Sequence[MatchListener] = (),
         time_budget_s: Optional[float] = None,
         batch_size: int = 1,
         poll_every: int = 0,
+        broker=None,
+        subscriptions: Optional[Iterable[object]] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
         if poll_every < 0:
             raise ValueError("poll_every must not be negative")
+        if broker is not None:
+            if engine is None:
+                engine = broker.engine
+            elif engine is not broker.engine:
+                raise ValueError("broker drives a different engine than the one given")
+        if engine is None:
+            raise ValueError("StreamRunner needs an engine or a broker")
         self.engine = engine
+        self.broker = broker
         self.listeners: List[MatchListener] = list(listeners)
+        if self.listeners:
+            warnings.warn(
+                "StreamRunner listeners are deprecated; subscribe to a "
+                "SubscriptionBroker for per-query match deltas instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.time_budget_s = time_budget_s
         self.batch_size = batch_size
         self.poll_every = poll_every
         self.indexing_time_s = 0.0
+        for spec in subscriptions or ():
+            self._subscribe_spec(spec)
 
     # ------------------------------------------------------------------
-    # Listeners
+    # Subscriptions and listeners
     # ------------------------------------------------------------------
+    def _require_broker(self):
+        if self.broker is None:
+            from ..pubsub.broker import SubscriptionBroker
+
+            self.broker = SubscriptionBroker(self.engine)
+        return self.broker
+
+    def _subscribe_spec(self, spec: object) -> None:
+        if isinstance(spec, Mapping):
+            self.subscribe(**dict(spec))
+        elif isinstance(spec, str):
+            self.subscribe([spec])
+        else:
+            self.subscribe(list(spec))  # type: ignore[arg-type]
+
+    def subscribe(self, query_ids=None, **kwargs):
+        """Create a broker subscription (building the broker on demand).
+
+        Forwards to :meth:`SubscriptionBroker.subscribe
+        <repro.pubsub.broker.SubscriptionBroker.subscribe>`
+        with ``query_ids`` (``None`` = every registered query) and returns
+        the :class:`~repro.pubsub.broker.Subscription`.
+        """
+        return self._require_broker().subscribe(
+            kwargs.pop("name", None), query_ids, **kwargs
+        )
+
     def add_listener(self, listener: MatchListener) -> None:
-        """Register a notification callback."""
+        """Register a notification callback.
+
+        .. deprecated:: broker subscriptions deliver per-query match deltas
+           (the changed answers) instead of bare notified-id sets; this shim
+           remains for existing callers.
+        """
+        warnings.warn(
+            "StreamRunner.add_listener is deprecated; subscribe to a "
+            "SubscriptionBroker for per-query match deltas instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.listeners.append(listener)
 
     # ------------------------------------------------------------------
@@ -172,6 +272,9 @@ class StreamRunner:
         answering time exceeds the configured time budget.  With
         ``batch_size > 1`` the stream is consumed in micro-batches through
         the engine's batch API; the budget is checked after every batch.
+        In broker mode each chunk flows through the broker (engine call plus
+        delta flush and delivery) and the delivery counters are accumulated
+        on the result.
         """
         updates = list(stream)
         result = ReplayResult(
@@ -184,11 +287,17 @@ class StreamRunner:
         budget = self.time_budget_s
         elapsed_total = 0.0
         per_update = self.batch_size == 1
+        broker = self.broker
         updates_since_poll = 0
         for start_index in range(0, len(updates), self.batch_size):
             chunk = updates[start_index : start_index + self.batch_size]
             start = time.perf_counter()
-            if per_update:
+            if broker is not None:
+                tick = (
+                    broker.on_update(chunk[0]) if per_update else broker.on_batch(chunk)
+                )
+                matched = tick.notified
+            elif per_update:
                 matched = self.engine.on_update(chunk[0])
             else:
                 matched = self.engine.on_batch(chunk)
@@ -196,6 +305,12 @@ class StreamRunner:
             result.answering.record(elapsed)
             result.updates_processed += len(chunk)
             elapsed_total += elapsed
+            if broker is not None:
+                result.deltas_delivered += tick.delivered
+                result.delta_answers += tick.num_changes
+                result.deltas_dropped += tick.dropped
+                result.deltas_coalesced += tick.coalesced
+                result.backpressure_events += len(tick.backpressured)
             if matched:
                 result.matched_updates += 1
                 result.matches_emitted += len(matched)

@@ -166,11 +166,12 @@ class TestBatchedStreamRunner:
 
     def test_batched_replay_notifies_listeners_once_per_batch(self, checkin_query, checkin_stream):
         received = []
-        runner = StreamRunner(
-            TRICEngine(),
-            batch_size=len(checkin_stream),
-            listeners=[lambda update, matched: received.append((update, matched))],
-        )
+        with pytest.warns(DeprecationWarning, match="SubscriptionBroker"):
+            runner = StreamRunner(
+                TRICEngine(),
+                batch_size=len(checkin_stream),
+                listeners=[lambda update, matched: received.append((update, matched))],
+            )
         runner.index_queries([checkin_query])
         runner.replay(checkin_stream)
         assert len(received) == 1

@@ -96,20 +96,62 @@ class TestStreamRunner:
 
     def test_listeners_receive_notifications(self, checkin_query, checkin_stream):
         log = NotificationLog()
-        runner = StreamRunner(TRICEngine(), listeners=[log])
+        with pytest.warns(DeprecationWarning, match="SubscriptionBroker"):
+            runner = StreamRunner(TRICEngine(), listeners=[log])
         runner.index_queries([checkin_query])
         runner.replay(checkin_stream)
         assert len(log) == 1
         assert log.queries_notified() == ["checkin"]
         assert log.notifications[0]["queries"] == ["checkin"]
 
-    def test_add_listener(self, checkin_query, checkin_stream):
+    def test_add_listener_is_a_deprecated_shim(self, checkin_query, checkin_stream):
         runner = StreamRunner(TRICEngine())
         log = NotificationLog()
-        runner.add_listener(log)
+        with pytest.warns(DeprecationWarning, match="SubscriptionBroker"):
+            runner.add_listener(log)
         runner.index_queries([checkin_query])
         runner.replay(checkin_stream)
         assert len(log) == 1
+
+    def test_broker_mode_delivers_match_deltas(self, checkin_query, checkin_stream):
+        runner = StreamRunner(TRICPlusEngine())
+        runner.index_queries([checkin_query])
+        subscription = runner.subscribe(["checkin"])
+        result = runner.replay(checkin_stream)
+        assert runner.broker is not None
+        assert result.deltas_delivered == 1
+        assert result.delta_answers == 1
+        deltas = subscription.drain()
+        assert [delta.query_id for delta in deltas] == ["checkin"]
+        assert deltas[0].added[0] == {"p1": "P1", "p2": "P2", "place": "rio"}
+        as_dict = result.as_dict()
+        assert as_dict["deltas_delivered"] == 1
+        assert as_dict["delta_answers"] == 1
+
+    def test_constructor_broker_and_subscription_specs(self, checkin_query, checkin_stream):
+        from repro.pubsub import SubscriptionBroker
+
+        engine = TRICPlusEngine()
+        engine.register(checkin_query)
+        broker = SubscriptionBroker(engine)
+        runner = StreamRunner(broker=broker, subscriptions=["checkin"], batch_size=2)
+        result = runner.replay(checkin_stream)
+        assert runner.engine is engine
+        assert result.deltas_delivered == 1
+        [subscription] = broker.subscriptions.values()
+        assert [d.query_id for d in subscription.drain()] == ["checkin"]
+
+    def test_broker_with_foreign_engine_rejected(self, checkin_query):
+        from repro.pubsub import SubscriptionBroker
+
+        engine = TRICPlusEngine()
+        engine.register(checkin_query)
+        with pytest.raises(ValueError):
+            StreamRunner(TRICEngine(), broker=SubscriptionBroker(engine))
+
+    def test_runner_needs_engine_or_broker(self):
+        with pytest.raises(ValueError):
+            StreamRunner()
 
     def test_time_budget_stops_the_replay(self, checkin_query):
         runner = StreamRunner(TRICEngine(), time_budget_s=0.0)
