@@ -34,7 +34,7 @@ from .baselines import (
     INVPlusEngine,
     NaiveEngine,
 )
-from .core import ContinuousEngine, TRICEngine, TRICPlusEngine
+from .core import BatchReport, ContinuousEngine, TRICEngine, TRICPlusEngine
 from .engines import (
     ANSWER_MATERIALISING_ENGINES,
     CLUSTERING_ENGINES,
@@ -98,6 +98,7 @@ __all__ = [
     "QueryWorkloadGenerator",
     "generate_workload",
     # engines
+    "BatchReport",
     "ContinuousEngine",
     "TRICEngine",
     "TRICPlusEngine",

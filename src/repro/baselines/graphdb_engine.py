@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
-from ..core.engine import ContinuousEngine
+from ..core.engine import BatchReport, ContinuousEngine
 from ..graph.elements import Edge
 from ..graphdb.executor import QueryExecutor
 from ..graphdb.planner import QueryPlanner
@@ -91,7 +91,7 @@ class GraphDBEngine(ContinuousEngine):
                 fresh.append(edge)
         if not fresh:
             # Only duplicate occurrences: no new answers can exist.
-            return frozenset()
+            return BatchReport(affected=())
         affected: Set[str] = set()
         for edge in fresh:
             affected.update(self._affected_queries(edge))
@@ -102,7 +102,7 @@ class GraphDBEngine(ContinuousEngine):
             ).assignments
             if self._any_assignment_uses_an_edge(query_id, assignments, fresh):
                 matched.add(query_id)
-        return frozenset(matched)
+        return BatchReport(matched, affected=affected)
 
     def _on_deletion_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
         """Apply the whole batch of removals, then re-check each affected
@@ -116,7 +116,7 @@ class GraphDBEngine(ContinuousEngine):
             if not self._store.has_edge(edge.label, edge.source, edge.target):
                 gone.append(edge)
         if not gone:
-            return frozenset()
+            return BatchReport(affected=())
         affected: Set[str] = set()
         for edge in gone:
             affected.update(self._affected_queries(edge))
@@ -129,7 +129,7 @@ class GraphDBEngine(ContinuousEngine):
             )
             if not result:
                 invalidated.add(query_id)
-        return frozenset(invalidated)
+        return BatchReport(invalidated, affected=affected)
 
     def _affected_queries(self, edge: Edge) -> Set[str]:
         affected: Set[str] = set()

@@ -11,6 +11,11 @@ INC+ (the re-differentiated ``+`` tier) is INC plus answer materialisation,
 exactly like INV+: polled queries' answer sets are cached, patched on
 additions with the delta bindings the notification decision computes, and
 marked dirty by deletions (refreshed lazily at the next poll).
+
+Both tiers inherit INV's :class:`~repro.core.engine.BatchReport`
+production: the per-batch affected-query set comes off the shared
+``edgeInd`` (every generalised key of every query is indexed there, so the
+set is complete for the update-seeded joins too).
 """
 
 from __future__ import annotations

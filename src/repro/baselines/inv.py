@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
 
-from ..core.engine import ContinuousEngine
+from ..core.engine import BatchReport, ContinuousEngine
 from ..graph.elements import Edge
 from ..graph.interning import VertexInterner
 from ..matching.answers import AnswerSetCache
@@ -106,16 +106,21 @@ class INVEngine(ContinuousEngine):
         The expensive per-query path re-materialization is performed once
         per affected query per *batch* instead of once per update, which is
         the dominant amortization for this join-and-explore baseline.
+
+        Returns a :class:`~repro.core.engine.BatchReport` whose ``affected``
+        set comes straight off ``edgeInd``: a query's answers can only
+        change when one of its generalised keys' views changed, and every
+        key of every query is registered there.
         """
         new_rows_by_key = self._views.apply_additions(edges)
         if not new_rows_by_key:
-            return frozenset()
+            return BatchReport(affected=())
         affected = self._affected_queries(new_rows_by_key)
         matched: Set[str] = set()
         for query_id in sorted(affected):
             if self._answer_query(query_id, new_rows_by_key):
                 matched.add(query_id)
-        return frozenset(matched)
+        return BatchReport(matched, affected=affected)
 
     def _affected_queries(self, keys: Iterable[EdgeKey]) -> Set[str]:
         affected: Set[str] = set()
@@ -215,7 +220,7 @@ class INVEngine(ContinuousEngine):
         """
         removed_by_key = self._views.apply_deletions(edges)
         if not removed_by_key:
-            return frozenset()
+            return BatchReport(affected=())
         affected = self._affected_queries(removed_by_key)
         invalidated: Set[str] = set()
         for query_id in affected:
@@ -225,7 +230,7 @@ class INVEngine(ContinuousEngine):
                     cache.mark_dirty()
             if query_id in self._satisfied and not self.has_matches(query_id):
                 invalidated.add(query_id)
-        return frozenset(invalidated)
+        return BatchReport(invalidated, affected=affected)
 
     # ------------------------------------------------------------------
     # Answers
@@ -314,6 +319,7 @@ class INVEngine(ContinuousEngine):
         description = super().describe()
         description.update(self.statistics())
         description["materialize_answers"] = self.materializes_answers
+        description["interner"] = self._views.interner.stats()
         return description
 
 

@@ -89,6 +89,9 @@ class ExperimentConfig:
     #: Number of engine shards the query database is partitioned across
     #: (1 = the unsharded engines the paper evaluates).
     shards: int = 1
+    #: Shard fan-out executor (``serial``, ``thread`` or ``process``; only
+    #: meaningful with ``shards > 1``).
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -103,6 +106,10 @@ class ExperimentConfig:
             raise BenchmarkError("subscribe must not be negative")
         if self.shards < 1:
             raise BenchmarkError("shards must be at least 1")
+        if self.executor not in ("serial", "thread", "process"):
+            raise BenchmarkError(
+                f"unknown executor {self.executor!r}; options: serial, thread, process"
+            )
 
     # ------------------------------------------------------------------
     # Scaled sizes
@@ -148,4 +155,5 @@ class ExperimentConfig:
             "poll_every": self.poll_every,
             "subscribe": self.subscribe,
             "shards": self.shards,
+            "executor": self.executor,
         }

@@ -255,25 +255,31 @@ def _replay_engine(
     poll_every: int = 0,
     subscribe: int = 0,
     shards: int = 1,
+    executor: str = "serial",
 ) -> Tuple[ReplayResult, float]:
     """Index the workload, replay the stream; returns (result, indexing seconds).
 
     With ``shards > 1`` the query database is partitioned across a
-    :class:`~repro.pubsub.sharding.ShardedEngineGroup`; with
-    ``subscribe > 0`` the replay runs in subscription mode (a broker
-    delivering match deltas for ``subscribe`` evenly picked queries).
+    :class:`~repro.pubsub.sharding.ShardedEngineGroup` (fanning batches out
+    under ``executor``); with ``subscribe > 0`` the replay runs in
+    subscription mode (a broker delivering match deltas for ``subscribe``
+    evenly picked queries).
     """
-    engine = create_sharded_engine(engine_name, shards)
-    runner = StreamRunner(
-        engine,
-        time_budget_s=time_budget_s,
-        batch_size=batch_size,
-        poll_every=poll_every,
-    )
-    indexing_s = runner.index_queries(workload.queries)
-    if subscribe > 0:
-        runner.subscribe(pick_subscribed_queries(list(engine.queries), subscribe))
-    result = runner.replay(stream, measure_memory=measure_memory)
+    engine = create_sharded_engine(engine_name, shards, executor=executor)
+    try:
+        runner = StreamRunner(
+            engine,
+            time_budget_s=time_budget_s,
+            batch_size=batch_size,
+            poll_every=poll_every,
+        )
+        indexing_s = runner.index_queries(workload.queries)
+        if subscribe > 0:
+            runner.subscribe(pick_subscribed_queries(list(engine.queries), subscribe))
+        result = runner.replay(stream, measure_memory=measure_memory)
+    finally:
+        if hasattr(engine, "close"):
+            engine.close()
     return result, indexing_s
 
 
@@ -408,6 +414,7 @@ def _parameter_sweep(
                 poll_every=config.poll_every,
                 subscribe=config.subscribe,
                 shards=config.shards,
+                executor=config.executor,
             )
             result.points.append(
                 SeriesPoint(
@@ -568,6 +575,7 @@ def experiment_fig13c(config: ExperimentConfig) -> ExperimentResult:
                 poll_every=config.poll_every,
                 subscribe=config.subscribe,
                 shards=config.shards,
+                executor=config.executor,
             )
             memory_mb = (
                 replay.memory_bytes / (1024 * 1024) if replay.memory_bytes is not None else None

@@ -63,11 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shards", type=int, default=None,
                         help="partition the query database across N independent engine "
                         "shards (default 1: the paper's unsharded engines)")
+    parser.add_argument("--executor", default=None,
+                        choices=("serial", "thread", "process"),
+                        help="shard fan-out executor (with --shards > 1): serial "
+                        "in-process loop, thread pool, or one worker process per "
+                        "shard (default serial)")
     parser.add_argument("--output", type=Path, default=None,
                         help="directory to write one .txt report per experiment")
     parser.add_argument("--profile", action="store_true",
                         help="run each experiment under cProfile and print the top-25 "
-                        "functions by cumulative time (verifies what is on the hot path)")
+                        "functions by cumulative time (verifies what is on the hot "
+                        "path); also profiles a broker-subscribed pass of the "
+                        "experiment so flush/delivery cost is visible")
     return parser
 
 
@@ -144,6 +151,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("--shards must be at least 1", file=sys.stderr)
             return 2
         overrides["shards"] = args.shards
+    if args.executor is not None:
+        overrides["executor"] = args.executor
 
     for experiment_id in selected:
         print(f"=== running {experiment_id} ===", flush=True)
@@ -163,6 +172,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.profile:
             print(f"--- profile: {experiment_id} (top 25 by cumulative time) ---")
             pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+            if not overrides.get("subscribe"):
+                # A broker-subscribed pass of the same experiment, so the
+                # flush/delivery cost (AnswerDeltaTracker.collect, the
+                # affected-aware SubscriptionBroker.flush) shows up in the
+                # top-25 instead of being invisible in engine-only replays.
+                subscribed = dict(overrides, subscribe=5)
+                profiler = cProfile.Profile()
+                profiler.enable()
+                run_experiment(experiment_id, scale=args.scale, **subscribed)
+                profiler.disable()
+                print(
+                    f"--- profile: {experiment_id} broker-subscribed "
+                    "(top 25 by cumulative time) ---"
+                )
+                pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
         if args.output is not None:
             path = args.output / f"{experiment_id}.txt"
             path.write_text(report + "\n", encoding="utf-8")

@@ -1,10 +1,11 @@
 """Core contribution: the TRIC / TRIC+ engines and the trie forest."""
 
-from .engine import ContinuousEngine
+from .engine import BatchReport, ContinuousEngine
 from .tric import TRICEngine, TRICPlusEngine
 from .trie import Trie, TrieForest, TrieNode
 
 __all__ = [
+    "BatchReport",
     "ContinuousEngine",
     "TRICEngine",
     "TRICPlusEngine",

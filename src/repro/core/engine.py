@@ -24,7 +24,127 @@ from ..graph.elements import Edge, Update, UpdateKind
 from ..graph.errors import DuplicateQueryError, UnknownQueryError
 from ..query.pattern import QueryGraphPattern
 
-__all__ = ["ContinuousEngine", "MaintainedAnswerSource"]
+__all__ = ["BatchReport", "ContinuousEngine", "MaintainedAnswerSource"]
+
+
+def _restore_report(notified, affected, additions, deletions):
+    """Pickle constructor for :class:`BatchReport` (see ``__reduce__``)."""
+    return BatchReport(
+        notified, affected=affected, additions=additions, deletions=deletions
+    )
+
+
+class BatchReport(frozenset):
+    """What one update (or micro-batch) did, as seen by the serving layer.
+
+    A :class:`BatchReport` *is* the ``frozenset`` of notified query ids that
+    :meth:`ContinuousEngine.on_update` / :meth:`~ContinuousEngine.on_batch`
+    have always returned (queries that gained new answers, plus queries
+    invalidated by deletions), so every existing caller keeps working
+    unchanged.  On top of the set it carries the batch metadata that makes
+    a tick O(affected work) downstream:
+
+    ``affected``
+        The ids of every query the batch *could have touched* — a superset
+        of the queries whose ``matches_of`` changed (the completeness
+        contract the property tests enforce), and usually a far smaller set
+        than the registered query database.  ``None`` means the engine
+        could not narrow it (the conservative fallback for engines without
+        a native report — consumers must then treat every query as
+        potentially affected).  Notified ids are always affected:
+        ``self <= self.affected`` whenever ``affected`` is not ``None``.
+    ``additions`` / ``deletions``
+        Per-batch update counters (how many stream updates of each kind
+        the report covers).
+
+    The :class:`~repro.pubsub.broker.SubscriptionBroker` consults
+    ``affected`` to skip flushing watched queries the batch cannot have
+    changed; :class:`~repro.pubsub.sharding.ShardedEngineGroup` merges the
+    per-shard reports deterministically.  Reports are picklable (the
+    process-executor shards ship them between processes).
+    """
+
+    __slots__ = ("affected", "additions", "deletions")
+
+    def __new__(
+        cls,
+        notified: Iterable[str] = (),
+        *,
+        affected: Optional[Iterable[str]] = None,
+        additions: int = 0,
+        deletions: int = 0,
+    ) -> "BatchReport":
+        report = super().__new__(cls, notified)
+        report.affected = None if affected is None else frozenset(affected)
+        report.additions = additions
+        report.deletions = deletions
+        return report
+
+    @classmethod
+    def wrap(
+        cls,
+        notified: FrozenSet[str],
+        *,
+        additions: int = 0,
+        deletions: int = 0,
+    ) -> "BatchReport":
+        """Promote a hook result to a report, preserving a native ``affected``.
+
+        Engines' per-kind hooks may return a plain frozenset (affected
+        unknown) or a :class:`BatchReport` carrying their native affected
+        set; either way the per-batch counters are (re)stamped here.
+        """
+        affected = notified.affected if isinstance(notified, cls) else None
+        return cls(
+            notified, affected=affected, additions=additions, deletions=deletions
+        )
+
+    @property
+    def notified(self) -> FrozenSet[str]:
+        """The notified ids — the report itself, named for readability."""
+        return self
+
+    @property
+    def updates(self) -> int:
+        """Stream updates covered by this report."""
+        return self.additions + self.deletions
+
+    @staticmethod
+    def merge(reports: Iterable["BatchReport"]) -> "BatchReport":
+        """Combine per-run (or per-shard) reports into one batch report.
+
+        Notified ids and affected sets union; one constituent without an
+        affected set (``None``) makes the merged set ``None`` too — the
+        conservative direction.  Counters add up.
+        """
+        notified: Set[str] = set()
+        affected: Optional[Set[str]] = set()
+        additions = deletions = 0
+        for report in reports:
+            notified.update(report)
+            if affected is not None:
+                if report.affected is None:
+                    affected = None
+                else:
+                    affected.update(report.affected)
+            additions += report.additions
+            deletions += report.deletions
+        return BatchReport(
+            notified, affected=affected, additions=additions, deletions=deletions
+        )
+
+    def __reduce__(self):
+        return (
+            _restore_report,
+            (tuple(self), self.affected, self.additions, self.deletions),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        affected = "?" if self.affected is None else len(self.affected)
+        return (
+            f"BatchReport(notified={len(self)}, affected={affected}, "
+            f"additions={self.additions}, deletions={self.deletions})"
+        )
 
 
 class MaintainedAnswerSource(NamedTuple):
@@ -108,30 +228,36 @@ class ContinuousEngine(abc.ABC):
     # ------------------------------------------------------------------
     # Stream consumption
     # ------------------------------------------------------------------
-    def on_update(self, update: Update) -> FrozenSet[str]:
+    def on_update(self, update: Update) -> "BatchReport":
         """Process one stream update.
 
         For an addition, returns the ids of queries that gained at least one
         new answer because of this update.  For a deletion, returns the ids
         of queries that were satisfied before and no longer have any answer.
+        The result is a :class:`BatchReport` — a frozenset of those ids that
+        additionally carries the batch's *affected-query* set (when the
+        engine can narrow it) for the serving layer.
         """
         self._updates_processed += 1
         if update.kind is UpdateKind.ADD:
-            matched = self._on_addition(update.edge)
-            self._satisfied.update(matched)
-            return matched
-        invalidated = self._on_deletion(update.edge)
-        self._satisfied.difference_update(invalidated)
-        return invalidated
+            report = BatchReport.wrap(self._on_addition(update.edge), additions=1)
+            self._satisfied.update(report)
+            return report
+        report = BatchReport.wrap(self._on_deletion(update.edge), deletions=1)
+        self._satisfied.difference_update(report)
+        return report
 
-    def on_batch(self, updates: Sequence[Update]) -> FrozenSet[str]:
+    def on_batch(self, updates: Sequence[Update]) -> "BatchReport":
         """Process a micro-batch of stream updates.
 
         Returns the union of the notifications a per-update replay of the
         batch would emit: ids of queries that gained new answers through the
         batch's additions plus ids of queries invalidated by its deletions.
         The final engine state is identical to processing the updates one by
-        one (batching is answer-equivalent).
+        one (batching is answer-equivalent).  The result is a
+        :class:`BatchReport`; its ``affected`` set unions the per-run
+        affected sets (and degrades to ``None`` when any run could not
+        narrow its own).
 
         Consecutive updates of the same kind form *runs* that are handed to
         the per-kind batch hooks, which engines override with native
@@ -140,7 +266,7 @@ class ContinuousEngine(abc.ABC):
         per-update processing.
         """
         updates = list(updates)
-        notified: Set[str] = set()
+        reports: List[BatchReport] = []
         start = 0
         while start < len(updates):
             kind = updates[start].kind
@@ -150,14 +276,18 @@ class ContinuousEngine(abc.ABC):
             edges = [update.edge for update in updates[start:stop]]
             self._updates_processed += len(edges)
             if kind is UpdateKind.ADD:
-                matched = self._on_addition_batch(edges)
+                matched = BatchReport.wrap(
+                    self._on_addition_batch(edges), additions=len(edges)
+                )
                 self._satisfied.update(matched)
             else:
-                matched = self._on_deletion_batch(edges)
+                matched = BatchReport.wrap(
+                    self._on_deletion_batch(edges), deletions=len(edges)
+                )
                 self._satisfied.difference_update(matched)
-            notified.update(matched)
+            reports.append(matched)
             start = stop
-        return frozenset(notified)
+        return BatchReport.merge(reports)
 
     def process(self, updates: Iterable[Update]) -> List[FrozenSet[str]]:
         """Process many updates; returns the per-update answer sets."""
@@ -202,14 +332,16 @@ class ContinuousEngine(abc.ABC):
 
         Default fallback: per-edge processing (``_satisfied`` is kept in
         step between edges so semantics match a per-update replay exactly).
-        Engines override this with native micro-batch processing.
+        Engines override this with native micro-batch processing.  Per-edge
+        results that carry a native affected set merge into the run's
+        report; one bare frozenset degrades the run to affected-unknown.
         """
-        matched: Set[str] = set()
+        per_edge: List[BatchReport] = []
         for edge in edges:
-            new = self._on_addition(edge)
+            new = BatchReport.wrap(self._on_addition(edge), additions=1)
             self._satisfied.update(new)
-            matched.update(new)
-        return frozenset(matched)
+            per_edge.append(new)
+        return BatchReport.merge(per_edge)
 
     def _on_deletion_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
         """Handle a run of edge deletions; return queries that lost all answers.
@@ -217,12 +349,12 @@ class ContinuousEngine(abc.ABC):
         Default fallback: per-edge processing, mirroring
         :meth:`_on_addition_batch`.
         """
-        invalidated: Set[str] = set()
+        per_edge: List[BatchReport] = []
         for edge in edges:
-            gone = self._on_deletion(edge)
+            gone = BatchReport.wrap(self._on_deletion(edge), deletions=1)
             self._satisfied.difference_update(gone)
-            invalidated.update(gone)
-        return frozenset(invalidated)
+            per_edge.append(gone)
+        return BatchReport.merge(per_edge)
 
     @abc.abstractmethod
     def matches_of(self, query_id: str) -> List[Dict[str, str]]:

@@ -42,7 +42,7 @@ from ..matching.plans import QueryEvaluationPlan, bindings_to_dicts
 from ..matching.relation import CountedRelation, Relation, Row, extend_path_rows
 from ..matching.views import EdgeViewRegistry
 from ..query.pattern import QueryGraphPattern
-from .engine import ContinuousEngine, MaintainedAnswerSource
+from .engine import BatchReport, ContinuousEngine, MaintainedAnswerSource
 from .trie import TrieForest, TrieNode
 
 __all__ = ["TRICEngine", "TRICPlusEngine"]
@@ -172,17 +172,22 @@ class TRICEngine(ContinuousEngine):
         computes *one* positive delta for the whole batch (amortizing the
         parent-view probe structures over the batch) and propagates it down
         its sub-trie.  The affected queries are evaluated once per batch.
+
+        Returns a :class:`~repro.core.engine.BatchReport` whose ``affected``
+        set is exactly the queries whose terminal views gained rows — a
+        query's answers are a join of projections of its terminal views, so
+        any query outside the set provably kept its answer set.
         """
         new_by_key = self._views.apply_additions(edges)
         if not new_by_key:
-            return frozenset()
+            return BatchReport(affected=())
 
         affected_nodes: Dict[int, TrieNode] = {}
         for key in new_by_key:
             for node in self._forest.nodes_with_key(key):
                 affected_nodes[node.node_id] = node
         if not affected_nodes:
-            return frozenset()
+            return BatchReport(affected=())
 
         affected: _AffectedMap = {}
         # Shallow nodes first so a parent's view already contains the new
@@ -199,7 +204,7 @@ class TRICEngine(ContinuousEngine):
             self._record_terminal(node, added, affected)
             self._propagate(node, added, affected)
 
-        return self._evaluate_affected(affected)
+        return BatchReport(self._evaluate_affected(affected), affected=affected)
 
     def _delta_against_parent(self, node: TrieNode, new_rows: Sequence[Row]) -> List[Row]:
         """Delta of a non-root node hit directly by a batch of new tuples.
@@ -279,10 +284,14 @@ class TRICEngine(ContinuousEngine):
         delta logs, never cleared, and the per-query invalidation re-check
         is an existence probe (:meth:`has_matches`), never a full answer
         materialisation.
+
+        Returns a :class:`~repro.core.engine.BatchReport` whose ``affected``
+        set is the queries whose terminal views lost rows (the same
+        projection argument as on the addition side).
         """
         removed_by_key = self._views.apply_deletions(edges)
         if not removed_by_key:
-            return frozenset()
+            return BatchReport(affected=())
 
         affected_nodes: Dict[int, TrieNode] = {}
         for key in removed_by_key:
@@ -304,7 +313,7 @@ class TRICEngine(ContinuousEngine):
         for query_id in affected_queries:
             if query_id in self._satisfied and not self.has_matches(query_id):
                 invalidated.add(query_id)
-        return frozenset(invalidated)
+        return BatchReport(invalidated, affected=affected_queries)
 
     def _direct_dead_rows(self, node: TrieNode, removed_rows: Set[Row]) -> List[Row]:
         """Rows of ``node``'s view that use a retracted base tuple at the
@@ -540,6 +549,7 @@ class TRICEngine(ContinuousEngine):
         description = super().describe()
         description.update(self.statistics())
         description["materialize_answers"] = self.materializes_answers
+        description["interner"] = self._views.interner.stats()
         return description
 
 

@@ -91,7 +91,12 @@ def create_engines(names=PAPER_ENGINES, **kwargs) -> Dict[str, ContinuousEngine]
 
 
 def create_sharded_engine(
-    name: str, num_shards: int = 1, *, assignment: str = "hash", **kwargs
+    name: str,
+    num_shards: int = 1,
+    *,
+    assignment: str = "hash",
+    executor: str = "serial",
+    **kwargs,
 ) -> ContinuousEngine:
     """Engine ``name``, sharded across ``num_shards`` instances when > 1.
 
@@ -99,8 +104,10 @@ def create_sharded_engine(
     otherwise the query database is partitioned across independent engine
     instances behind a
     :class:`~repro.pubsub.sharding.ShardedEngineGroup` (``assignment`` is
-    ``"hash"`` or ``"label"``).  Keyword arguments are forwarded to the
-    underlying engine factory either way.
+    ``"hash"`` or ``"label"``; ``executor`` is ``"serial"``, ``"thread"``
+    or ``"process"`` and decides how a batch fans out to the relevant
+    shards).  Keyword arguments are forwarded to the underlying engine
+    factory either way.
     """
     if num_shards <= 1:
         return create_engine(name, **kwargs)
@@ -115,6 +122,7 @@ def create_sharded_engine(
         name,
         num_shards,
         assignment=assignment,
+        executor=executor,
         injective=injective,
         engine_kwargs=kwargs,
     )

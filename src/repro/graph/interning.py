@@ -21,6 +21,7 @@ string pipeline through the same code paths.
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["VertexInterner", "NullInterner"]
@@ -83,6 +84,27 @@ class VertexInterner:
         labels = self._labels
         return tuple(labels[vid] for vid in row)
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Size statistics of the vertex dictionary.
+
+        ``live_ids`` is the number of distinct identifiers interned so far
+        (ids are never recycled, so this only grows — the measurement the
+        ROADMAP's compaction concern needs before any id-recycling work),
+        and ``bytes_estimate`` approximates the dictionary's retained
+        memory: the identifier strings themselves plus the encode dict and
+        decode list containers.  O(n) per call; meant for ``describe()``
+        reports, not the stream path.
+        """
+        strings = sum(sys.getsizeof(label) for label in self._labels)
+        containers = sys.getsizeof(self._ids) + sys.getsizeof(self._labels)
+        return {
+            "live_ids": len(self._labels),
+            "bytes_estimate": strings + containers,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"VertexInterner(vertices={len(self._labels)})"
 
@@ -128,6 +150,14 @@ class NullInterner:
 
     def decode_row(self, row: Sequence[str]) -> Tuple[str, ...]:
         return tuple(row)
+
+    def stats(self) -> Dict[str, int]:
+        """API-compatible statistics (strings are stored, not encoded)."""
+        strings = sum(sys.getsizeof(label) for label in self._seen)
+        return {
+            "live_ids": len(self._seen),
+            "bytes_estimate": strings + sys.getsizeof(self._seen),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NullInterner(vertices={len(self._seen)})"

@@ -13,6 +13,8 @@ the *changed* answers.  :class:`SubscriptionBroker` sits on top of any
   dictionaries) from the delta pipeline's maintained answer relations
   through an :class:`~repro.pubsub.deltas.AnswerDeltaTracker` (exact log
   reads where the engine materialises answers, snapshot diffs elsewhere),
+  consulting the engines' :class:`~repro.core.engine.BatchReport` so each
+  tick only touches the watched queries the batch could have affected,
 * delivers them through per-listener bounded queues with an explicit
   :class:`OverflowPolicy`, or synchronously to a callback.
 
@@ -300,6 +302,11 @@ class BrokerTick:
     #: Names of subscriptions that exceeded capacity under ``BLOCK`` — the
     #: producer's cue to pause the stream until consumers drain.
     backpressured: Tuple[str, ...] = ()
+    #: Watched queries whose deltas were collected this tick, and watched
+    #: queries skipped because the engine's :class:`~repro.core.engine.BatchReport`
+    #: proved the batch could not have touched them.
+    flushed: int = 0
+    skipped: int = 0
 
     @property
     def num_changes(self) -> int:
@@ -321,16 +328,27 @@ class SubscriptionBroker:
         *,
         default_policy: "OverflowPolicy | str" = OverflowPolicy.DROP_OLDEST,
         default_capacity: int = 1024,
+        affected_flush: bool = True,
     ) -> None:
         if default_capacity < 1:
             raise SubscriptionError("default_capacity must be at least 1")
         self.engine = engine
         self.default_policy = OverflowPolicy.coerce(default_policy)
         self.default_capacity = default_capacity
+        #: When ``True`` (the default) :meth:`flush` consults the engine's
+        #: :class:`~repro.core.engine.BatchReport` and skips watched queries
+        #: the batch provably did not touch.  ``False`` restores the
+        #: flush-everything behaviour (the comparison baseline for
+        #: ``benchmarks/bench_hotpath.py``'s ``affected_flush`` section).
+        self.affected_flush = affected_flush
         self._tracker = AnswerDeltaTracker(engine)
         self._subscriptions: Dict[str, Subscription] = {}
         self._watchers: Dict[str, Set[Subscription]] = {}
         self._names = 0
+        # Cumulative flush statistics (surfaced by describe()).
+        self.flushes = 0
+        self.queries_flushed = 0
+        self.queries_skipped = 0
 
     # ------------------------------------------------------------------
     # Subscription management
@@ -498,18 +516,47 @@ class SubscriptionBroker:
         return self.flush(notified)
 
     def flush(self, notified: FrozenSet[str] = frozenset()) -> BrokerTick:
-        """Collect and deliver the pending deltas of every watched query.
+        """Collect and deliver the pending deltas of the affected watched queries.
 
         Safe to call at any time (e.g. when the engine is driven outside
-        the broker).  Unchanged queries cost one empty delta-log slice on
-        the fast path; ``notified`` is carried through to the tick for
-        callers that also want the engine's satisfied-set notifications.
+        the broker).  When ``notified`` is a
+        :class:`~repro.core.engine.BatchReport` with a known ``affected``
+        set (what :meth:`on_update` / :meth:`on_batch` pass through) and
+        ``affected_flush`` is on, only watched queries in that set are
+        collected — an unaffected query costs *nothing* this tick: no
+        delta-log slice on the fast path, no ``matches_of`` snapshot diff
+        on the slow path.  A plain frozenset (or an engine that cannot
+        narrow its report) flushes every watched query, exactly the
+        pre-report behaviour.  Skipping is exact, not lossy: the report's
+        completeness contract guarantees an unaffected query's answers did
+        not change, and the tracker's positions simply advance at the
+        query's next affected (or conservative) flush.
+
+        Callers driving the engine *outside* the broker must pass a report
+        covering every engine change since the previous flush — merge
+        per-batch reports with :meth:`BatchReport.merge
+        <repro.core.engine.BatchReport.merge>`, or call ``flush()`` with no
+        argument for a conservative full flush.
         """
+        affected = (
+            getattr(notified, "affected", None) if self.affected_flush else None
+        )
+        if affected is None:
+            candidates = sorted(self._watchers)
+            skipped = 0
+        else:
+            candidates = sorted(
+                query_id for query_id in self._watchers if query_id in affected
+            )
+            skipped = len(self._watchers) - len(candidates)
         deltas: List[MatchDelta] = []
         delivered = dropped = coalesced = 0
         backpressured: List[str] = []
         timestamp = self.engine.updates_processed
-        for query_id in sorted(self._watchers):
+        self.flushes += 1
+        self.queries_flushed += len(candidates)
+        self.queries_skipped += skipped
+        for query_id in candidates:
             watchers = self._watchers.get(query_id)
             if not watchers:
                 continue  # a callback un-subscribed it mid-flush
@@ -539,6 +586,8 @@ class SubscriptionBroker:
             dropped=dropped,
             coalesced=coalesced,
             backpressured=tuple(sorted(backpressured)),
+            flushed=len(candidates),
+            skipped=skipped,
         )
 
     def _snapshot_delta(self, query_id: str) -> MatchDelta:
@@ -563,6 +612,10 @@ class SubscriptionBroker:
         return {
             "engine": self.engine.describe(),
             "watched_queries": len(self._watchers),
+            "affected_flush": self.affected_flush,
+            "flushes": self.flushes,
+            "queries_flushed": self.queries_flushed,
+            "queries_skipped": self.queries_skipped,
             "subscriptions": [
                 subscription.describe()
                 for _, subscription in sorted(self._subscriptions.items())

@@ -30,6 +30,13 @@ Answers are tracked as canonical keys — ``tuple(sorted(binding.items()))``
 — which is exactly the per-answer sort key of the engines' canonical
 ``matches_of`` order, so delivered deltas compare byte for byte across
 engines and shard counts.
+
+The tracker itself is pull-based and per-query, which is what makes the
+broker's affected-aware flushing free: a query outside a batch's
+:class:`~repro.core.engine.BatchReport` affected set is simply not
+collected that tick — no log slice, no snapshot diff — and its positions
+advance at its next collect, with nothing lost (the report's completeness
+contract guarantees its answers did not change in between).
 """
 
 from __future__ import annotations

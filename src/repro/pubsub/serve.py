@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 import time
@@ -73,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="partition the query database across N engine shards")
     parser.add_argument("--assignment", default="hash", choices=("hash", "label"),
                         help="shard assignment strategy (default hash)")
+    parser.add_argument("--executor", default="serial",
+                        choices=("serial", "thread", "process"),
+                        help="shard fan-out executor: serial (in-process loop), "
+                        "thread (concurrent shard tasks on a thread pool), or "
+                        "process (one worker process per shard, true "
+                        "parallelism; default serial)")
     parser.add_argument("--subscribe", type=parse_subscribe_spec, default=(5, None),
                         metavar="K[-of-N]",
                         help="subscribe to K queries spread over the first N "
@@ -126,32 +133,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # which this module only needs at run time.
     from ..bench.experiments import build_stream, build_workload
 
+    stream = build_stream(args.dataset, args.updates, args.seed)
+    workload = build_workload(
+        stream,
+        num_queries=args.queries,
+        avg_edges=5,
+        selectivity=0.25,
+        overlap=0.35,
+        seed=args.seed + 1,
+    )
+    engine = None
     try:
-        stream = build_stream(args.dataset, args.updates, args.seed)
-        workload = build_workload(
-            stream,
-            num_queries=args.queries,
-            avg_edges=5,
-            selectivity=0.25,
-            overlap=0.35,
-            seed=args.seed + 1,
-        )
         engine = create_sharded_engine(
-            args.engine, args.shards, assignment=args.assignment
+            args.engine,
+            args.shards,
+            assignment=args.assignment,
+            executor=args.executor,
         )
-        indexing_start = time.perf_counter()
-        engine.register_all(workload.queries)
-        indexing_s = time.perf_counter() - indexing_start
-
-        broker = SubscriptionBroker(engine)
-        k, pool = args.subscribe
-        subscribed = pick_subscribed(list(engine.queries), k, pool)
-        subscription = broker.subscribe(
-            "serve", subscribed, policy=args.policy, capacity=args.capacity
-        )
+        return _serve(args, engine, workload, stream)
     except ReproError as error:
         print(f"repro-serve: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer (head, a closed socket) went away: stop
+        # streaming quietly, like any well-behaved line-oriented tool.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    finally:
+        # Release executor resources (process-shard workers, thread pools)
+        # on every exit path, including errors and broken stdout pipes.
+        if engine is not None and hasattr(engine, "close"):
+            engine.close()
+
+
+def _serve(args, engine, workload, stream) -> int:
+    """Index, subscribe and replay on a ready-made engine (see :func:`main`)."""
+    indexing_start = time.perf_counter()
+    engine.register_all(workload.queries)
+    indexing_s = time.perf_counter() - indexing_start
+
+    broker = SubscriptionBroker(engine)
+    k, pool = args.subscribe
+    subscribed = pick_subscribed(list(engine.queries), k, pool)
+    subscription = broker.subscribe(
+        "serve", subscribed, policy=args.policy, capacity=args.capacity
+    )
 
     updates = _churned(list(stream), args.deletions, args.seed + 2)
     printed = 0
@@ -184,17 +211,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "updates_per_s": round(len(updates) / replay_s, 1) if replay_s else None,
             "deltas_delivered": delivered,
             "answers_changed": changes,
+            "flush": {
+                "affected_aware": broker.affected_flush,
+                "flushes": broker.flushes,
+                "queries_flushed": broker.queries_flushed,
+                "queries_skipped": broker.queries_skipped,
+            },
             "subscription": subscription.describe(),
         }
         if hasattr(engine, "shard_statistics"):
+            description = engine.describe()
+            summary["executor"] = description.get("executor")
+            summary["affected_per_batch"] = description.get("affected_per_batch")
             summary["shards"] = [
                 {
                     "engine": stats.get("engine"),
                     "queries": stats.get("queries"),
                     "updates_processed": stats.get("updates_processed"),
                     "satisfied": stats.get("satisfied"),
+                    "batches": batches,
+                    "batch_ms_mean": latency,
                 }
-                for stats in engine.shard_statistics()
+                for stats, batches, latency in zip(
+                    description.get("per_shard", []),
+                    description.get("shard_batches", []),
+                    description.get("shard_batch_ms_mean", []),
+                )
             ]
         print(json.dumps(summary, indent=2, sort_keys=True), file=sys.stderr)
     return 0

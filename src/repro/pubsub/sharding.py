@@ -16,39 +16,208 @@ treat it exactly like a single engine:
   inside each shard) and narrows the fan-out below,
 * stream updates fan out only to the shards whose queries use the edge's
   label (an engine without the label ignores the update anyway — the
-  group skips even handing it over),
-* notifications, answers (``matches_of`` routes to the owning shard) and
-  maintained answer-delta sources merge back through the group, and
-  :meth:`describe` / :meth:`shard_statistics` expose per-shard metrics.
+  group skips even handing it over), executed by a pluggable *executor*:
+  ``serial`` (in-process loop, the default), ``thread`` (one
+  :class:`~concurrent.futures.ThreadPoolExecutor` task per relevant
+  shard), or ``process`` (each shard lives in its own single-worker
+  :class:`~concurrent.futures.ProcessPoolExecutor` and receives picklable
+  command/reply frames — true parallelism, since the shard engines share
+  nothing),
+* notifications and affected sets merge back deterministically as one
+  :class:`~repro.core.engine.BatchReport` (shard order, set semantics),
+  answers (``matches_of`` routes to the owning shard) and maintained
+  answer-delta sources come back through the group, and
+  :meth:`describe` / :meth:`shard_statistics` expose per-shard metrics
+  including the executor mode and per-shard batch latency.
 
 Because every query lives in exactly one shard — and a shard that *gains*
 an edge label through a mid-stream registration is backfilled from the
 group's live-edge history (recorded under the same key-matching retention
 rule the unsharded registry applies) — the group's answers are
-byte-identical to an unsharded engine's for any shard count, whether
-queries are registered up front or while the stream is running.  The one
-deliberate divergence: a pattern whose *literal-endpoint* key is first
-registered after matching edges arrived reads those edges from the
-backfill on a fresh shard, where a single engine's new (empty) view would
-have dropped them — the group errs toward the oracle's semantics there.
+byte-identical to an unsharded engine's for any shard count *and any
+executor*, whether queries are registered up front or while the stream is
+running.  The one deliberate divergence: a pattern whose *literal-endpoint*
+key is first registered after matching edges arrived reads those edges from
+the backfill on a fresh shard, where a single engine's new (empty) view
+would have dropped them — the group errs toward the oracle's semantics
+there.
+
+A group with ``executor="process"`` (or ``"thread"``) holds OS resources;
+call :meth:`close` (or use the group as a context manager) when done.
 """
 
 from __future__ import annotations
 
+import time
 import zlib
 from collections import Counter
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..core.engine import ContinuousEngine, MaintainedAnswerSource
+from ..core.engine import BatchReport, ContinuousEngine, MaintainedAnswerSource
 from ..graph.elements import Edge, Update, UpdateKind
 from ..graph.errors import EngineError
 from ..query.pattern import QueryGraphPattern
 from ..query.terms import EdgeKey, candidate_keys_for_edge
 
-__all__ = ["ShardedEngineGroup"]
+__all__ = ["ShardedEngineGroup", "SHARD_EXECUTORS"]
 
 #: A zero-argument engine factory (one call per shard).
 EngineFactory = Callable[[], ContinuousEngine]
+
+#: Supported fan-out executors.
+SHARD_EXECUTORS = ("serial", "thread", "process")
+
+
+def silent_backfill(engine: ContinuousEngine, updates: Sequence[Update]) -> None:
+    """Replay ``updates`` into ``engine`` without touching its satisfied-set.
+
+    Registration backfill must not mark queries satisfied (a query only
+    enters the satisfied-set through a later notification), exactly like
+    the engines' own registration-time view recomputation.  Used by the
+    in-process shards and by the process-shard workers.
+    """
+    satisfied_before = engine.satisfied_queries()
+    engine.on_batch(updates)
+    engine._satisfied.clear()
+    engine._satisfied.update(satisfied_before)
+
+
+# ----------------------------------------------------------------------
+# Process-executor shard workers
+# ----------------------------------------------------------------------
+#: The engine owned by this worker process (one engine per single-worker
+#: pool; every command of that shard is executed against it).
+_WORKER_ENGINE: Optional[ContinuousEngine] = None
+
+
+def _process_shard_init(engine_name: str, engine_kwargs: Dict[str, object], injective: bool) -> None:
+    """Pool initializer: build this shard's engine inside the worker."""
+    global _WORKER_ENGINE
+    from ..engines import create_engine
+
+    _WORKER_ENGINE = create_engine(engine_name, injective=injective, **engine_kwargs)
+
+
+def _process_shard_call(op: str, args: Tuple) -> object:
+    """Execute one picklable command frame against the worker's engine.
+
+    The framing is deliberately narrow: operands are the repository's
+    picklable value types (:class:`~repro.graph.elements.Update`,
+    :class:`~repro.query.pattern.QueryGraphPattern`, query-id strings) and
+    replies are plain data (a :class:`~repro.core.engine.BatchReport` with
+    its wall-clock seconds, binding dictionaries, frozensets, description
+    dictionaries) — never live relations or views, which stay inside the
+    worker.
+    """
+    engine = _WORKER_ENGINE
+    assert engine is not None, "process shard used before initialization"
+    if op == "batch":
+        (updates,) = args
+        start = time.perf_counter()
+        if len(updates) == 1:
+            report = engine.on_update(updates[0])
+        else:
+            report = engine.on_batch(updates)
+        return report, engine.satisfied_queries(), time.perf_counter() - start
+    if op == "register":
+        (pattern,) = args
+        engine.register(pattern)
+        return None
+    if op == "backfill":
+        (updates,) = args
+        silent_backfill(engine, updates)
+        return None
+    if op == "matches_of":
+        return engine.matches_of(args[0])
+    if op == "has_matches":
+        return engine.has_matches(args[0])
+    if op == "satisfied":
+        return engine.satisfied_queries()
+    if op == "describe":
+        return engine.describe()
+    raise EngineError(f"unknown process-shard command: {op!r}")  # pragma: no cover
+
+
+class _ProcessShardProxy:
+    """Engine-shaped handle to a shard living in its own worker process.
+
+    Each proxy owns a single-worker
+    :class:`~concurrent.futures.ProcessPoolExecutor`, so every command it
+    submits lands on the same long-lived engine instance.  The group fans a
+    batch out by *starting* every relevant shard's command first and
+    collecting the replies afterwards — the workers run concurrently.
+
+    ``answer_delta_source`` always returns ``None``: the maintained answer
+    relation lives in the worker's address space, so delta consumers fall
+    back to exact ``matches_of`` snapshot diffs over the command channel.
+    """
+
+    def __init__(self, engine_name: str, engine_kwargs: Dict[str, object], injective: bool) -> None:
+        self.name = engine_name
+        self._query_ids: List[str] = []
+        self._pool = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_process_shard_init,
+            initargs=(engine_name, dict(engine_kwargs), injective),
+        )
+
+    # -- command channel -------------------------------------------------
+    def _submit(self, op: str, *args) -> Future:
+        return self._pool.submit(_process_shard_call, op, args)
+
+    def _call(self, op: str, *args):
+        return self._submit(op, *args).result()
+
+    def start_batch(self, updates: Sequence[Update]) -> Future:
+        """Send a batch command without waiting (the concurrent fan-out)."""
+        return self._submit("batch", list(updates))
+
+    # -- the engine surface the group needs ------------------------------
+    @property
+    def num_queries(self) -> int:
+        return len(self._query_ids)
+
+    @property
+    def queries(self) -> Tuple[str, ...]:
+        """Ids registered on this shard (patterns live in the worker)."""
+        return tuple(self._query_ids)
+
+    def register(self, pattern: QueryGraphPattern) -> None:
+        self._call("register", pattern)
+        self._query_ids.append(pattern.query_id)
+
+    def backfill(self, updates: Sequence[Update]) -> None:
+        self._call("backfill", list(updates))
+
+    def on_update(self, update: Update) -> BatchReport:
+        report, _, _ = self.start_batch([update]).result()
+        return report
+
+    def on_batch(self, updates: Sequence[Update]) -> BatchReport:
+        report, _, _ = self.start_batch(updates).result()
+        return report
+
+    def matches_of(self, query_id: str) -> List[Dict[str, str]]:
+        return self._call("matches_of", query_id)
+
+    def has_matches(self, query_id: str) -> bool:
+        return self._call("has_matches", query_id)
+
+    def answer_delta_source(self, query_id: str) -> None:
+        return None
+
+    def satisfied_queries(self) -> FrozenSet[str]:
+        return self._call("satisfied")
+
+    def describe(self) -> Dict[str, object]:
+        return self._call("describe")
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_ProcessShardProxy({self.name!r}, queries={self.num_queries})"
 
 
 class ShardedEngineGroup(ContinuousEngine):
@@ -59,12 +228,21 @@ class ShardedEngineGroup(ContinuousEngine):
     engine:
         Engine name resolved through :data:`repro.engines.ENGINE_FACTORIES`
         (e.g. ``"TRIC+"``), or a zero-argument factory callable (one call
-        per shard).
+        per shard; not supported by the ``process`` executor, whose workers
+        rebuild the engine from its registry name).
     num_shards:
         Number of independent shards (``>= 1``).
     assignment:
         ``"hash"`` (stable id hash, blind balance) or ``"label"``
         (label-affinity routing, clusters queries sharing edge labels).
+    executor:
+        How a batch fans out to the relevant shards: ``"serial"`` (one
+        shard after another in-process — zero overhead, the default),
+        ``"thread"`` (shards run on a thread pool; the engines share
+        nothing, so the GIL is the only serialisation left), or
+        ``"process"`` (each shard is a separate worker process driven over
+        picklable command frames — true parallelism at the cost of IPC per
+        batch).  Answers are byte-identical across executors.
     engine_kwargs:
         Extra keyword arguments forwarded to the named engine's factory
         (ignored when ``engine`` is already a callable).
@@ -78,6 +256,7 @@ class ShardedEngineGroup(ContinuousEngine):
         num_shards: int = 2,
         *,
         assignment: str = "hash",
+        executor: str = "serial",
         injective: bool = False,
         engine_kwargs: Optional[Dict[str, object]] = None,
     ) -> None:
@@ -88,22 +267,64 @@ class ShardedEngineGroup(ContinuousEngine):
             raise EngineError(
                 f"unknown shard assignment {assignment!r}; options: hash, label"
             )
+        if executor not in SHARD_EXECUTORS:
+            raise EngineError(
+                f"unknown shard executor {executor!r}; options: "
+                + ", ".join(SHARD_EXECUTORS)
+            )
         self.assignment = assignment
+        self.executor = executor
+        kwargs = dict(engine_kwargs or {})
         if callable(engine):
+            if executor == "process":
+                raise EngineError(
+                    "the process executor needs a named engine (its workers "
+                    "rebuild the engine from the registry); pass the engine "
+                    "name plus engine_kwargs instead of a factory callable"
+                )
             factory = engine
         else:
             from ..engines import create_engine
 
-            kwargs = dict(engine_kwargs or {})
             kwargs.setdefault("injective", injective)
             engine_name = engine
             factory = lambda: create_engine(engine_name, **kwargs)  # noqa: E731
-        self.shards: List[ContinuousEngine] = [factory() for _ in range(num_shards)]
+        if executor == "process":
+            # An explicit injective in engine_kwargs must win exactly as it
+            # does on the in-process path (kwargs.setdefault above), so the
+            # executors build semantically identical shard engines.
+            worker_injective = bool(kwargs.get("injective", injective))
+            worker_kwargs = {k: v for k, v in kwargs.items() if k != "injective"}
+            self.shards: List[ContinuousEngine] = [
+                _ProcessShardProxy(engine, worker_kwargs, worker_injective)
+                for _ in range(num_shards)
+            ]
+        else:
+            self.shards = [factory() for _ in range(num_shards)]
         self.name = f"{self.shards[0].name}x{num_shards}"
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
         #: query id -> owning shard index.
         self._owner: Dict[str, int] = {}
+        #: per-shard query ids (the conservative affected fallback when a
+        #: shard's engine cannot narrow its own report).
+        self._shard_queries: List[Set[str]] = [set() for _ in self.shards]
+        #: last known satisfied-set of each shard, piggybacked on every
+        #: batch reply; the group's satisfied-set is their union (each
+        #: query is owned by exactly one shard, so the union is exact).
+        self._shard_satisfied: List[FrozenSet[str]] = [
+            frozenset() for _ in self.shards
+        ]
         #: per-shard edge labels in use (the fan-out filter).
         self._shard_labels: List[Set[str]] = [set() for _ in self.shards]
+        #: per-shard fan-out metrics: batches executed and engine seconds
+        #: spent (compute time inside the shard, IPC excluded for process
+        #: shards), surfaced by :meth:`describe`.
+        self._shard_batches: List[int] = [0 for _ in self.shards]
+        self._shard_batch_seconds: List[float] = [0.0 for _ in self.shards]
+        #: affected-set accounting across fan-outs (mean size per batch).
+        self._fan_outs = 0
+        self._affected_reported = 0
         #: label -> live multigraph edges carrying it (multiplicity-counted).
         #: This is what lets a shard that *gains* a label through a
         #: mid-stream registration be backfilled with the edges it never
@@ -123,6 +344,49 @@ class ShardedEngineGroup(ContinuousEngine):
     def num_shards(self) -> int:
         """Number of shards in the group."""
         return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # Executor lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor resources (worker processes, thread pool).
+
+        Idempotent.  Serial groups hold nothing and close trivially; the
+        group stays usable for answer reads (``matches_of`` on in-process
+        shards) but process shards are gone once closed.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown()
+            self._thread_pool = None
+        for shard in self.shards:
+            if isinstance(shard, _ProcessShardProxy):
+                shard.close()
+
+    def __enter__(self) -> "ShardedEngineGroup":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._closed:
+            # Recreating the pool here would leak it: close() has already
+            # run and will never shut the new one down.
+            raise EngineError("sharded engine group is closed")
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=len(self.shards), thread_name_prefix="repro-shard"
+            )
+        return self._thread_pool
 
     # ------------------------------------------------------------------
     # Query assignment
@@ -162,6 +426,7 @@ class ShardedEngineGroup(ContinuousEngine):
         new_labels = pattern.edge_labels() - self._shard_labels[index]
         shard.register(pattern)
         self._owner[pattern.query_id] = index
+        self._shard_queries[index].add(pattern.query_id)
         self._shard_labels[index].update(pattern.edge_labels())
         self._global_keys.update(edge.key for edge in pattern.edges)
         self._backfill_shard(shard, new_labels)
@@ -178,7 +443,8 @@ class ShardedEngineGroup(ContinuousEngine):
         replay is *silent* — like the engines' registration backfill it
         must not mark queries satisfied (a query only enters the
         satisfied-set through a later notification), so the shard's
-        satisfied-set is restored afterwards.
+        satisfied-set is restored afterwards (:func:`silent_backfill`,
+        executed inside the worker for a process shard).
         """
         backfill = [
             Update(Edge(label, source, target))
@@ -190,10 +456,10 @@ class ShardedEngineGroup(ContinuousEngine):
         ]
         if not backfill:
             return
-        satisfied_before = shard.satisfied_queries()
-        shard.on_batch(backfill)
-        shard._satisfied.clear()
-        shard._satisfied.update(satisfied_before)
+        if isinstance(shard, _ProcessShardProxy):
+            shard.backfill(backfill)
+        else:
+            silent_backfill(shard, backfill)
 
     def _record_history(self, edges: Sequence[Edge], kind: UpdateKind) -> None:
         live = self._live_edges
@@ -226,41 +492,123 @@ class ShardedEngineGroup(ContinuousEngine):
     # ------------------------------------------------------------------
     # Stream fan-out
     # ------------------------------------------------------------------
-    def _relevant_shards(self, label: str) -> List[int]:
-        return [
-            index
-            for index, labels in enumerate(self._shard_labels)
-            if label in labels
-        ]
+    def on_batch(self, updates: Sequence[Update]) -> BatchReport:
+        """Process a micro-batch with *one* shard call per relevant shard.
 
-    def _fan_out(self, edges: Sequence[Edge], kind: UpdateKind) -> FrozenSet[str]:
-        """Hand each shard its label-relevant slice of the run, merge ids."""
-        self._record_history(edges, kind)
-        merged: Set[str] = set()
-        for index, shard in enumerate(self.shards):
-            labels = self._shard_labels[index]
-            relevant = [edge for edge in edges if edge.label in labels]
-            if not relevant:
-                continue
-            if len(relevant) == 1:
-                merged.update(shard.on_update(Update(relevant[0], kind)))
+        The base class splits a batch into per-kind runs and would fan each
+        run out separately — on an interleaved add/delete stream that turns
+        one micro-batch into hundreds of per-shard calls, which is pure
+        overhead for the thread executor and pure IPC for the process
+        executor.  The group instead hands every shard its full
+        label-relevant *subsequence* of the batch (order and interleaving
+        preserved) in a single call; the shard's own ``on_batch`` does the
+        run splitting locally, with identical answer semantics.
+        """
+        updates = list(updates)
+        if not updates:
+            return BatchReport(affected=())
+        self._updates_processed += len(updates)
+        return self._fan_out_updates(updates)
+
+    def _fan_out_updates(self, updates: Sequence[Update]) -> BatchReport:
+        """Hand each shard its label-relevant subsequence, concurrently
+        where the executor allows, and merge the per-shard reports.
+
+        The merge is deterministic for every executor: per-shard results
+        are collected in shard order and combine through set unions, so the
+        outcome does not depend on completion order.  A shard that received
+        no relevant update contributes nothing — its queries provably kept
+        their answers, which keeps the merged ``affected`` set narrow.
+        Each reply piggybacks the shard's satisfied-set, from which the
+        group's own satisfied-set is rebuilt (exact: every query is owned
+        by exactly one shard).
+        """
+        # Record history in stream order, one run of each kind at a time.
+        additions = deletions = 0
+        start = 0
+        while start < len(updates):
+            kind = updates[start].kind
+            stop = start
+            while stop < len(updates) and updates[stop].kind is kind:
+                stop += 1
+            run = [update.edge for update in updates[start:stop]]
+            self._record_history(run, kind)
+            if kind is UpdateKind.ADD:
+                additions += len(run)
             else:
-                merged.update(
-                    shard.on_batch([Update(edge, kind) for edge in relevant])
-                )
-        return frozenset(merged)
+                deletions += len(run)
+            start = stop
+        jobs: List[Tuple[int, List[Update]]] = []
+        for index, labels in enumerate(self._shard_labels):
+            relevant = [update for update in updates if update.edge.label in labels]
+            if relevant:
+                jobs.append((index, relevant))
+        if not jobs:
+            return BatchReport(affected=())
+        results = self._run_jobs(jobs)
+        reports: List[BatchReport] = []
+        for (index, _), (report, satisfied, seconds) in zip(jobs, results):
+            self._shard_batches[index] += 1
+            self._shard_batch_seconds[index] += seconds
+            self._shard_satisfied[index] = frozenset(satisfied)
+            if not isinstance(report, BatchReport) or report.affected is None:
+                # Engine without a native report: conservatively treat every
+                # query owned by this shard as affected (still far narrower
+                # than "the whole query database").
+                report = BatchReport(report, affected=self._shard_queries[index])
+            reports.append(report)
+        self._satisfied.clear()
+        self._satisfied.update(*self._shard_satisfied)
+        merged = BatchReport.merge(reports)
+        self._fan_outs += 1
+        self._affected_reported += len(merged.affected or ())
+        # Re-stamp counters with the group-level update counts (a shard's
+        # own counters would double-count edges relevant to several shards).
+        return BatchReport(
+            merged, affected=merged.affected, additions=additions, deletions=deletions
+        )
+
+    def _run_jobs(
+        self, jobs: Sequence[Tuple[int, List[Update]]]
+    ) -> List[Tuple[BatchReport, FrozenSet[str], float]]:
+        """Execute per-shard batch jobs under the configured executor."""
+        if self.executor == "process":
+            # Start every worker first, then collect: the shards overlap.
+            futures = [self.shards[index].start_batch(updates) for index, updates in jobs]
+            return [future.result() for future in futures]
+        if self.executor == "thread" and len(jobs) > 1:
+            pool = self._pool()
+            futures = [
+                pool.submit(self._timed_batch, index, updates)
+                for index, updates in jobs
+            ]
+            return [future.result() for future in futures]
+        return [self._timed_batch(index, updates) for index, updates in jobs]
+
+    def _timed_batch(
+        self, index: int, updates: Sequence[Update]
+    ) -> Tuple[BatchReport, FrozenSet[str], float]:
+        shard = self.shards[index]
+        start = time.perf_counter()
+        if len(updates) == 1:
+            report = shard.on_update(updates[0])
+        else:
+            report = shard.on_batch(updates)
+        return report, shard.satisfied_queries(), time.perf_counter() - start
 
     def _on_addition(self, edge: Edge) -> FrozenSet[str]:
-        return self._fan_out([edge], UpdateKind.ADD)
+        return self._fan_out_updates([Update(edge, UpdateKind.ADD)])
 
     def _on_deletion(self, edge: Edge) -> FrozenSet[str]:
-        return self._fan_out([edge], UpdateKind.DELETE)
+        return self._fan_out_updates([Update(edge, UpdateKind.DELETE)])
 
     def _on_addition_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
-        return self._fan_out(edges, UpdateKind.ADD)
+        return self._fan_out_updates([Update(edge, UpdateKind.ADD) for edge in edges])
 
     def _on_deletion_batch(self, edges: Sequence[Edge]) -> FrozenSet[str]:
-        return self._fan_out(edges, UpdateKind.DELETE)
+        return self._fan_out_updates(
+            [Update(edge, UpdateKind.DELETE) for edge in edges]
+        )
 
     # ------------------------------------------------------------------
     # Answers (routed to the owning shard)
@@ -274,7 +622,11 @@ class ShardedEngineGroup(ContinuousEngine):
         return self.shards[self.shard_of(query_id)].has_matches(query_id)
 
     def answer_delta_source(self, query_id: str) -> Optional[MaintainedAnswerSource]:
-        """Maintained answer relation of the owning shard (if any)."""
+        """Maintained answer relation of the owning shard (if any).
+
+        ``None`` for process shards — their relations live in the worker
+        process, so delta consumers snapshot-diff ``matches_of`` instead.
+        """
         return self.shards[self.shard_of(query_id)].answer_delta_source(query_id)
 
     # ------------------------------------------------------------------
@@ -288,13 +640,26 @@ class ShardedEngineGroup(ContinuousEngine):
         description = super().describe()
         description["shards"] = self.num_shards
         description["assignment"] = self.assignment
+        description["executor"] = self.executor
         description["shard_queries"] = [shard.num_queries for shard in self.shards]
         description["shard_labels"] = [len(labels) for labels in self._shard_labels]
+        description["shard_batches"] = list(self._shard_batches)
+        description["shard_batch_seconds"] = [
+            round(seconds, 6) for seconds in self._shard_batch_seconds
+        ]
+        description["shard_batch_ms_mean"] = [
+            round(seconds / batches * 1e3, 6) if batches else 0.0
+            for seconds, batches in zip(self._shard_batch_seconds, self._shard_batches)
+        ]
+        description["affected_per_batch"] = (
+            round(self._affected_reported / self._fan_outs, 3) if self._fan_outs else 0.0
+        )
         description["per_shard"] = self.shard_statistics()
         return description
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ShardedEngineGroup({self.shards[0].name!r}, "
-            f"num_shards={self.num_shards}, queries={self.num_queries})"
+            f"num_shards={self.num_shards}, queries={self.num_queries}, "
+            f"executor={self.executor!r})"
         )

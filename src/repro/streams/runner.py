@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.engine import ContinuousEngine
 from ..graph.elements import Update
@@ -70,6 +70,21 @@ class ReplayResult:
     deltas_dropped: int = 0
     deltas_coalesced: int = 0
     backpressure_events: int = 0
+    #: Names of subscriptions that exceeded capacity under
+    #: ``OverflowPolicy.BLOCK`` at any point of the replay (including
+    #: initial-snapshot deliveries) — the producer-facing backpressure flag
+    #: that used to live only on the broker's internals.
+    backpressured_subscriptions: Tuple[str, ...] = ()
+    #: Affected-aware flushing: watched queries whose deltas were collected
+    #: across the replay's ticks, and watched queries skipped because the
+    #: engine's ``BatchReport`` proved the batch could not touch them.
+    queries_flushed: int = 0
+    queries_skipped: int = 0
+
+    @property
+    def backpressured(self) -> bool:
+        """``True`` when any ``BLOCK`` subscription exceeded its capacity."""
+        return bool(self.backpressured_subscriptions) or self.backpressure_events > 0
 
     @property
     def answering_time_ms_per_update(self) -> float:
@@ -114,6 +129,9 @@ class ReplayResult:
             "deltas_dropped": self.deltas_dropped,
             "deltas_coalesced": self.deltas_coalesced,
             "backpressure_events": self.backpressure_events,
+            "backpressured_subscriptions": list(self.backpressured_subscriptions),
+            "queries_flushed": self.queries_flushed,
+            "queries_skipped": self.queries_skipped,
         }
 
 
@@ -289,6 +307,7 @@ class StreamRunner:
         per_update = self.batch_size == 1
         broker = self.broker
         updates_since_poll = 0
+        backpressured_names: set = set()
         for start_index in range(0, len(updates), self.batch_size):
             chunk = updates[start_index : start_index + self.batch_size]
             start = time.perf_counter()
@@ -311,6 +330,9 @@ class StreamRunner:
                 result.deltas_dropped += tick.dropped
                 result.deltas_coalesced += tick.coalesced
                 result.backpressure_events += len(tick.backpressured)
+                backpressured_names.update(tick.backpressured)
+                result.queries_flushed += tick.flushed
+                result.queries_skipped += tick.skipped
             if matched:
                 result.matched_updates += 1
                 result.matches_emitted += len(matched)
@@ -332,6 +354,17 @@ class StreamRunner:
             if budget is not None and elapsed_total > budget:
                 result.timed_out = True
                 break
+        if broker is not None:
+            # A BLOCK queue may also have overflowed outside a tick (the
+            # initial snapshot of a mid-replay subscribe); fold any
+            # still-over-capacity BLOCK subscription into the flag.
+            for name, subscription in broker.subscriptions.items():
+                if (
+                    subscription.backpressured
+                    or len(subscription.queue) > subscription.capacity
+                ):
+                    backpressured_names.add(name)
+            result.backpressured_subscriptions = tuple(sorted(backpressured_names))
         if measure_memory:
             result.memory_bytes = deep_sizeof(self.engine)
         return result

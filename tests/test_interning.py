@@ -254,6 +254,27 @@ class TestInterningRoundTripsThroughEngines:
         engine.on_update(add("knows", "alice", "bob"))
         assert engine.matches_of("q") == [{"a": "alice", "b": "bob"}]
 
+    def test_stats_measure_the_live_dictionary(self):
+        """``stats()`` reports live ids and a bytes estimate that grows with
+        the dictionary, and engines surface it through ``describe()`` — the
+        measurement the append-only-interner compaction concern needs."""
+        interner = VertexInterner()
+        empty = interner.stats()
+        assert empty["live_ids"] == 0
+        for i in range(10):
+            interner.intern(f"person:{i}")
+        stats = interner.stats()
+        assert stats["live_ids"] == 10
+        assert stats["bytes_estimate"] > empty["bytes_estimate"]
+        null_stats = NullInterner(["a", "b"]).stats()
+        assert null_stats["live_ids"] == 2 and null_stats["bytes_estimate"] > 0
+        engine = TRICEngine()
+        engine.register(QueryGraphPattern("q", [("knows", "?a", "?b")]))
+        engine.on_update(add("knows", "alice", "bob"))
+        description = engine.describe()
+        assert description["interner"]["live_ids"] == 2
+        assert description["interner"]["bytes_estimate"] > 0
+
     def test_unmatched_traffic_does_not_grow_the_interner(self):
         """Edges no registered key matches must never intern their endpoints
         (the dictionary is append-only, so stray ids would leak forever)."""
