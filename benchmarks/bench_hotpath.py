@@ -1182,3 +1182,134 @@ def test_parallel_shard_fanout():
                 f"({fanout_speedup['process'][shards]:.2f}x < {floor}x, "
                 f"{cpus} cpu(s))"
             )
+
+
+# ----------------------------------------------------------------------
+# Durability: journal overhead and snapshot/restore latency
+# ----------------------------------------------------------------------
+#: Micro-batch size for the durability comparison — one journal append
+#: (and, with fsync on, one ``fsync``) per batch of this many additions.
+DURABILITY_BATCH_SIZE = 32
+
+
+def test_durability_overhead():
+    """What the write-ahead journal costs, and what a restore buys back.
+
+    Replays the addition-heavy stream three ways — no journal, journal
+    without fsync, journal with fsync-per-batch (the durability contract) —
+    asserting the per-batch reports byte-identical across all three, then
+    times a full snapshot write and a cold ``DurableEngine.recover`` of the
+    final state.  The recovered engine must answer byte-identically to the
+    engine that never stopped.  No speed gate: fsync cost is storage
+    hardware, not code — the committed numbers ARE the deliverable.
+    """
+    import shutil
+    import tempfile
+
+    from repro.persistence import DurableEngine
+
+    scale = min(bench_scale_from_env(default=DEFAULT_SCALE), POLLING_SCALE_CAP)
+    updates, workload = _addition_heavy_workload(scale)
+    repeats = _repeats_for(scale)
+    batch_size = DURABILITY_BATCH_SIZE
+
+    def drive(mode: str, directory):
+        best = float("inf")
+        reports: List = []
+        engine = None
+        for _ in range(repeats):
+            shutil.rmtree(directory, ignore_errors=True)
+            plain = create_engine("TRIC+")
+            if mode == "plain":
+                engine = plain
+            else:
+                engine = DurableEngine(
+                    plain, directory, fsync=(mode == "journal_fsync")
+                )
+            runner = StreamRunner(engine)
+            runner.index_queries(workload.queries)
+            reports = []
+            start = time.perf_counter()
+            for index in range(0, len(updates), batch_size):
+                reports.append(engine.on_batch(updates[index : index + batch_size]))
+            best = min(best, time.perf_counter() - start)
+        return best, reports, engine
+
+    with tempfile.TemporaryDirectory() as scratch:
+        directory = Path(scratch) / "durability"
+        plain_s, plain_reports, _ = drive("plain", directory)
+        nofsync_s, nofsync_reports, _ = drive("journal_nofsync", directory)
+        fsync_s, fsync_reports, durable = drive("journal_fsync", directory)
+
+        # Journaling must be behaviourally invisible, report for report.
+        assert plain_reports == nofsync_reports == fsync_reports
+        journal_bytes = durable.journal.size_bytes
+
+        start = time.perf_counter()
+        durable.write_snapshot()
+        snapshot_s = time.perf_counter() - start
+        snapshot_bytes = (directory / "snapshot.bin").stat().st_size
+        durable.close()
+
+        start = time.perf_counter()
+        recovered = DurableEngine.recover(directory)
+        restore_s = time.perf_counter() - start
+        assert recovered.satisfied_queries() == durable.satisfied_queries()
+        for query_id in sorted(recovered.satisfied_queries())[:MAX_POLLED_QUERIES]:
+            assert recovered.matches_of(query_id) == durable.matches_of(query_id)
+        recovered.close()
+
+    results = {
+        "TRIC+": {
+            "plain_s": round(plain_s, 4),
+            "journal_s": round(nofsync_s, 4),
+            "journal_fsync_s": round(fsync_s, 4),
+            "plain_updates_per_s": round(len(updates) / plain_s, 1),
+            "journal_updates_per_s": round(len(updates) / nofsync_s, 1),
+            "journal_fsync_updates_per_s": round(len(updates) / fsync_s, 1),
+            "fsync_overhead": round(fsync_s / plain_s, 2),
+            "journal_bytes": journal_bytes,
+            "snapshot_s": round(snapshot_s, 4),
+            "snapshot_bytes": snapshot_bytes,
+            "restore_s": round(restore_s, 4),
+        }
+    }
+    print()
+    print(
+        f"durability overhead ({len(updates)} additions, journal append per "
+        f"{batch_size}-update batch)"
+    )
+    rows = [
+        (
+            "TRIC+",
+            f"{plain_s:.3f}",
+            f"{nofsync_s:.3f}",
+            f"{fsync_s:.3f}",
+            f"{snapshot_s * 1000:.1f}",
+            f"{restore_s * 1000:.1f}",
+        )
+    ]
+    print(
+        format_table(
+            (
+                "engine",
+                "no journal (s)",
+                "journal (s)",
+                "journal+fsync (s)",
+                "snapshot (ms)",
+                "restore (ms)",
+            ),
+            rows,
+        )
+    )
+    _write_json(
+        {
+            "durability": {
+                "scale": scale,
+                "num_updates": len(updates),
+                "num_queries": len(workload.queries),
+                "batch_size": batch_size,
+                "engines": results,
+            }
+        }
+    )

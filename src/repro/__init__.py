@@ -56,6 +56,12 @@ from .graph import (
     add,
     delete,
 )
+from .persistence import (
+    DeltaJournal,
+    DurableEngine,
+    FaultInjector,
+    InjectedCrash,
+)
 from .pubsub import (
     MatchDelta,
     NotificationLog,
@@ -124,4 +130,9 @@ __all__ = [
     "OverflowPolicy",
     "ShardedEngineGroup",
     "NotificationLog",
+    # durability & crash recovery
+    "DurableEngine",
+    "DeltaJournal",
+    "FaultInjector",
+    "InjectedCrash",
 ]

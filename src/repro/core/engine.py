@@ -391,6 +391,38 @@ class ContinuousEngine(abc.ABC):
         return None
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Full engine state as a self-verifying snapshot blob.
+
+        The blob covers everything the engine owns — the interner table,
+        the counted relations with their signed delta logs, the maintained
+        indexes, the materialised answers, and the registered query
+        database — so :meth:`restore` yields an engine behaviourally
+        byte-identical to this one for any subsequent stream.  See
+        :mod:`repro.persistence` for the envelope format and the
+        write-ahead journal that pairs with it.
+        """
+        from ..persistence.snapshots import snapshot_engine
+
+        return snapshot_engine(self)
+
+    @staticmethod
+    def restore(blob: bytes) -> "ContinuousEngine":
+        """Rebuild an engine from a :meth:`snapshot` blob.
+
+        Raises
+        ------
+        repro.graph.errors.SnapshotCorruptError
+            When the blob fails its magic/version/CRC envelope checks or
+            does not decode to an engine.
+        """
+        from ..persistence.snapshots import restore_engine
+
+        return restore_engine(blob)
+
+    # ------------------------------------------------------------------
     # Reporting helpers
     # ------------------------------------------------------------------
     def describe(self) -> Dict[str, object]:

@@ -96,6 +96,9 @@ def create_sharded_engine(
     *,
     assignment: str = "hash",
     executor: str = "serial",
+    journal_dir: "str | None" = None,
+    snapshot_every: "int | None" = None,
+    journal_fsync: bool = True,
     **kwargs,
 ) -> ContinuousEngine:
     """Engine ``name``, sharded across ``num_shards`` instances when > 1.
@@ -108,7 +111,29 @@ def create_sharded_engine(
     or ``"process"`` and decides how a batch fans out to the relevant
     shards).  Keyword arguments are forwarded to the underlying engine
     factory either way.
+
+    ``journal_dir`` makes the result durable: the engine (or the whole
+    sharded group) is wrapped in a
+    :class:`~repro.persistence.durable.DurableEngine` that write-ahead
+    journals every registration and micro-batch into that directory
+    (fsync-on-batch unless ``journal_fsync`` is off) and snapshots the
+    full state every ``snapshot_every`` records, so
+    :meth:`DurableEngine.recover <repro.persistence.durable.DurableEngine.recover>`
+    resumes byte-identically after a crash.
     """
+    if journal_dir is not None:
+        from .persistence import DurableEngine
+
+        engine = create_sharded_engine(
+            name,
+            num_shards,
+            assignment=assignment,
+            executor=executor,
+            **kwargs,
+        )
+        return DurableEngine(
+            engine, journal_dir, snapshot_every=snapshot_every, fsync=journal_fsync
+        )
     if num_shards <= 1:
         return create_engine(name, **kwargs)
     if name not in ENGINE_FACTORIES:

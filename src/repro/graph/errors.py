@@ -43,6 +43,15 @@ class UnknownQueryError(EngineError):
     """Raised when unregistering or inspecting a query id that is not indexed."""
 
 
+class ShardUnavailableError(EngineError):
+    """Raised when a shard (or its worker process) cannot serve a request.
+
+    Recoverable from the caller's point of view: the sharded group's
+    supervisor respawns dead workers with bounded retry, so this surfaces
+    only once recovery itself has been exhausted (or the group is closed).
+    """
+
+
 class StreamError(ReproError):
     """Raised by the stream replay harness for malformed update streams."""
 
@@ -57,3 +66,25 @@ class DatasetError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised by the experiment harness for invalid experiment configuration."""
+
+
+class PersistenceError(ReproError):
+    """Base class for durability-layer failures (snapshots, journals).
+
+    Subclasses distinguish *fatal* corruption (:class:`SnapshotCorruptError`,
+    :class:`JournalCorruptError`) from ordinary misuse, so recovery code can
+    decide between refusing to start and starting from an older state.
+    """
+
+
+class SnapshotCorruptError(PersistenceError):
+    """Raised when a snapshot envelope fails its magic/version/CRC checks."""
+
+
+class JournalCorruptError(PersistenceError):
+    """Raised when a write-ahead journal record *before* the tail is torn.
+
+    A torn **final** record is the expected signature of a crash mid-write
+    and is silently truncated during replay; corruption anywhere earlier
+    means the journal cannot be trusted and raises this instead.
+    """

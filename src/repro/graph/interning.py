@@ -95,11 +95,15 @@ class VertexInterner:
         ROADMAP's compaction concern needs before any id-recycling work),
         and ``bytes_estimate`` approximates the dictionary's retained
         memory: the identifier strings themselves plus the encode dict and
-        decode list containers.  O(n) per call; meant for ``describe()``
-        reports, not the stream path.
+        decode list containers.  The container overhead is estimated from
+        the entry count alone (eight machine words per dict entry, one
+        pointer per list slot) rather than ``sys.getsizeof``, whose answer
+        depends on allocation history — a snapshot-restored engine must
+        ``describe()`` byte-identically to the original.  O(n) per call;
+        meant for ``describe()`` reports, not the stream path.
         """
         strings = sum(sys.getsizeof(label) for label in self._labels)
-        containers = sys.getsizeof(self._ids) + sys.getsizeof(self._labels)
+        containers = 128 + 64 * len(self._ids) + 8 * len(self._labels)
         return {
             "live_ids": len(self._labels),
             "bytes_estimate": strings + containers,
@@ -152,11 +156,16 @@ class NullInterner:
         return tuple(row)
 
     def stats(self) -> Dict[str, int]:
-        """API-compatible statistics (strings are stored, not encoded)."""
+        """API-compatible statistics (strings are stored, not encoded).
+
+        As with :meth:`VertexInterner.stats`, the set overhead is estimated
+        from the entry count alone so the figure survives snapshot/restore
+        unchanged.
+        """
         strings = sum(sys.getsizeof(label) for label in self._seen)
         return {
             "live_ids": len(self._seen),
-            "bytes_estimate": strings + sys.getsizeof(self._seen),
+            "bytes_estimate": strings + 128 + 64 * len(self._seen),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

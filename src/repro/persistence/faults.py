@@ -1,0 +1,125 @@
+"""Fault injection: crash the durability layer on purpose, deterministically.
+
+Recovery code that is only exercised by real crashes is recovery code that
+does not work.  This module is the hook layer the property tests (and the
+``tools/faultinject.py`` harness) drive:
+
+* :class:`FaultInjector` — a registry of named *fault points*.  Durability
+  code calls :meth:`FaultInjector.reached` at its crash-relevant moments
+  (``journal.append.before_write``, ``journal.append.after_write``,
+  ``durable.apply.before``, ``durable.apply.after``, ``durable.snapshot``);
+  an armed injector raises :class:`InjectedCrash` at the scheduled hit,
+  simulating a process death at exactly that instruction boundary.
+* :func:`truncate_file_tail` / :func:`corrupt_file_tail` — byte-level
+  journal damage, modelling a crash mid-``write(2)`` (torn final record)
+  and on-disk corruption respectively.
+
+Fault points are *no-ops when no injector is armed* — the production path
+pays one ``None`` check per point.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = [
+    "InjectedCrash",
+    "FaultInjector",
+    "truncate_file_tail",
+    "corrupt_file_tail",
+]
+
+
+class InjectedCrash(BaseException):
+    """An injected process death.
+
+    Deliberately a :class:`BaseException`: recovery code must never be able
+    to ``except Exception`` its way past a simulated crash — exactly like a
+    real ``SIGKILL``, it propagates until the simulated process boundary
+    (the test harness) catches it.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at fault point {point!r}")
+        self.point = point
+
+
+class FaultInjector:
+    """Deterministic crash scheduler over named fault points.
+
+    >>> faults = FaultInjector()
+    >>> faults.arm("durable.apply.before", hits=1)
+    >>> faults.reached("journal.append.after_write")  # not armed: no-op
+    >>> try:
+    ...     faults.reached("durable.apply.before")
+    ... except InjectedCrash as crash:
+    ...     print(crash.point)
+    durable.apply.before
+    """
+
+    def __init__(self) -> None:
+        #: point -> remaining calls before the crash fires (1 = next call).
+        self._armed: Dict[str, int] = {}
+        #: point -> times the point was reached (armed or not).
+        self.hits: Dict[str, int] = {}
+
+    def arm(self, point: str, *, hits: int = 1) -> None:
+        """Schedule a crash at the ``hits``-th future call of ``point``."""
+        if hits < 1:
+            raise ValueError("hits must be at least 1")
+        self._armed[point] = hits
+
+    def disarm(self, point: Optional[str] = None) -> None:
+        """Cancel one scheduled crash (or all of them with no argument)."""
+        if point is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(point, None)
+
+    def reached(self, point: str) -> None:
+        """Record that execution reached ``point``; crash when scheduled."""
+        self.hits[point] = self.hits.get(point, 0) + 1
+        remaining = self._armed.get(point)
+        if remaining is None:
+            return
+        if remaining > 1:
+            self._armed[point] = remaining - 1
+            return
+        del self._armed[point]
+        raise InjectedCrash(point)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultInjector(armed={sorted(self._armed)})"
+
+
+def truncate_file_tail(path: "str | Path", nbytes: int) -> int:
+    """Cut ``nbytes`` off the end of ``path`` (a crash mid-write).
+
+    Returns the new file size.  Truncating more bytes than the file holds
+    empties it, which models a crash before anything reached the disk.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    new_size = max(0, size - nbytes)
+    with open(path, "rb+") as handle:
+        handle.truncate(new_size)
+    return new_size
+
+
+def corrupt_file_tail(path: "str | Path", *, offset_from_end: int = 2) -> None:
+    """Flip one byte near the end of ``path`` (on-disk corruption).
+
+    ``offset_from_end`` counts backwards from the final byte; the default
+    lands inside the last record's body on any non-empty journal.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if size == 0:
+        return
+    position = max(0, size - 1 - offset_from_end)
+    with open(path, "rb+") as handle:
+        handle.seek(position)
+        byte = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([byte[0] ^ 0xFF]))

@@ -19,6 +19,7 @@ import argparse
 import json
 import os
 import random
+import signal
 import sys
 import time
 from typing import List, Optional, Sequence, Tuple
@@ -29,6 +30,14 @@ from ..graph.errors import ReproError
 from .broker import OverflowPolicy, SubscriptionBroker
 
 __all__ = ["main", "build_parser", "pick_subscribed", "parse_subscribe_spec"]
+
+
+class _ShutdownRequested(Exception):
+    """Raised inside the replay loop by the SIGINT/SIGTERM handlers."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signal.Signals(signum).name)
+        self.reason = signal.Signals(signum).name
 
 
 def parse_subscribe_spec(spec: str) -> Tuple[int, Optional[int]]:
@@ -97,6 +106,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=17, help="dataset seed (default 17)")
     parser.add_argument("--max-deltas", type=int, default=None,
                         help="stop printing deltas after N (replay continues)")
+    parser.add_argument("--journal-dir", default=None, metavar="DIR",
+                        help="make the engine durable: write-ahead journal "
+                        "every registration and micro-batch into DIR "
+                        "(fsync-on-batch), so a crashed server recovers "
+                        "byte-identically from snapshot + journal tail")
+    parser.add_argument("--snapshot-every", type=int, default=None, metavar="N",
+                        help="with --journal-dir: snapshot full engine state "
+                        "every N journal records and reset the journal "
+                        "(default: journal only)")
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="with --journal-dir: skip the per-batch fsync "
+                        "(faster, loses the power-failure guarantee)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the stderr summary")
     return parser
@@ -133,27 +154,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # which this module only needs at run time.
     from ..bench.experiments import build_stream, build_workload
 
-    stream = build_stream(args.dataset, args.updates, args.seed)
-    workload = build_workload(
-        stream,
-        num_queries=args.queries,
-        avg_edges=5,
-        selectivity=0.25,
-        overlap=0.35,
-        seed=args.seed + 1,
-    )
     engine = None
+    # Handlers go in before the (potentially long) workload build so a
+    # SIGTERM at any point of the server's life exits cleanly.
+    previous_handlers = _install_signal_handlers()
     try:
+        stream = build_stream(args.dataset, args.updates, args.seed)
+        workload = build_workload(
+            stream,
+            num_queries=args.queries,
+            avg_edges=5,
+            selectivity=0.25,
+            overlap=0.35,
+            seed=args.seed + 1,
+        )
         engine = create_sharded_engine(
             args.engine,
             args.shards,
             assignment=args.assignment,
             executor=args.executor,
+            journal_dir=args.journal_dir,
+            snapshot_every=args.snapshot_every,
+            journal_fsync=not args.no_fsync,
         )
         return _serve(args, engine, workload, stream)
     except ReproError as error:
         print(f"repro-serve: {error}", file=sys.stderr)
         return 2
+    except (_ShutdownRequested, KeyboardInterrupt):
+        # A signal outside the replay loop (indexing, setup): nothing
+        # useful to summarise yet, but still a clean exit.
+        return 0
     except BrokenPipeError:
         # Downstream consumer (head, a closed socket) went away: stop
         # streaming quietly, like any well-behaved line-oriented tool.
@@ -161,10 +192,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         os.dup2(devnull, sys.stdout.fileno())
         return 0
     finally:
-        # Release executor resources (process-shard workers, thread pools)
-        # on every exit path, including errors and broken stdout pipes.
+        # Release executor resources (process-shard workers, thread pools,
+        # journal handles) on every exit path, including errors, signals
+        # and broken stdout pipes.
+        _restore_signal_handlers(previous_handlers)
         if engine is not None and hasattr(engine, "close"):
             engine.close()
+
+
+def _install_signal_handlers():
+    """Route SIGINT/SIGTERM into :class:`_ShutdownRequested` for the replay.
+
+    Returns the previous handlers for :func:`_restore_signal_handlers` (so
+    in-process callers — the tests — leave no global state behind).  A
+    no-op off the main thread, where ``signal.signal`` is unavailable.
+    """
+    def _handler(signum, frame):
+        raise _ShutdownRequested(signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    return previous
+
+
+def _restore_signal_handlers(previous) -> None:
+    for signum, handler in previous.items():
+        try:
+            signal.signal(signum, handler)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
 
 
 def _serve(args, engine, workload, stream) -> int:
@@ -183,20 +243,35 @@ def _serve(args, engine, workload, stream) -> int:
     updates = _churned(list(stream), args.deletions, args.seed + 2)
     printed = 0
     delivered = changes = 0
+    consumed = 0
+    shutdown: Optional[str] = None
     out = sys.stdout
     replay_start = time.perf_counter()
-    for start in range(0, len(updates), args.batch_size):
-        chunk = updates[start : start + args.batch_size]
-        if args.batch_size == 1:
-            broker.on_update(chunk[0])
-        else:
-            broker.on_batch(chunk)
-        for matched in subscription.drain():
-            delivered += 1
-            changes += matched.num_changes
-            if args.max_deltas is None or printed < args.max_deltas:
-                print(json.dumps(matched.as_dict(), sort_keys=True), file=out)
-                printed += 1
+    try:
+        for start in range(0, len(updates), args.batch_size):
+            chunk = updates[start : start + args.batch_size]
+            if args.batch_size == 1:
+                broker.on_update(chunk[0])
+            else:
+                broker.on_batch(chunk)
+            consumed += len(chunk)
+            for matched in subscription.drain():
+                delivered += 1
+                changes += matched.num_changes
+                if args.max_deltas is None or printed < args.max_deltas:
+                    print(json.dumps(matched.as_dict(), sort_keys=True), file=out)
+                    printed += 1
+    except _ShutdownRequested as stop:
+        # Graceful shutdown: stop the replay where it is, still flush the
+        # stderr summary below, let main() close the shards, exit 0.
+        shutdown = stop.reason
+    except KeyboardInterrupt:  # a raw ^C that bypassed the installed handler
+        shutdown = "SIGINT"
+    except BrokenPipeError:
+        # Client disconnect mid-stream: the summary still goes to stderr.
+        shutdown = "client-disconnect"
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
     replay_s = time.perf_counter() - replay_start
 
     if not args.quiet:
@@ -204,6 +279,7 @@ def _serve(args, engine, workload, stream) -> int:
             "dataset": args.dataset,
             "engine": engine.name,
             "updates": len(updates),
+            "updates_consumed": consumed,
             "queries": engine.num_queries,
             "subscribed": sorted(subscribed),
             "indexing_s": round(indexing_s, 4),
@@ -219,10 +295,18 @@ def _serve(args, engine, workload, stream) -> int:
             },
             "subscription": subscription.describe(),
         }
+        if shutdown is not None:
+            summary["shutdown"] = shutdown
+        description = engine.describe()
+        if "durability" in description:
+            summary["durability"] = description["durability"]
         if hasattr(engine, "shard_statistics"):
-            description = engine.describe()
             summary["executor"] = description.get("executor")
             summary["affected_per_batch"] = description.get("affected_per_batch")
+            if "shard_respawns" in description:
+                summary["shard_respawns"] = description["shard_respawns"]
+                summary["shard_replayed_ops"] = description["shard_replayed_ops"]
+                summary["degraded_shards"] = description["degraded_shards"]
             summary["shards"] = [
                 {
                     "engine": stats.get("engine"),

@@ -48,15 +48,18 @@ call :meth:`close` (or use the group as a context manager) when done.
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 import zlib
 from collections import Counter
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..core.engine import BatchReport, ContinuousEngine, MaintainedAnswerSource
 from ..graph.elements import Edge, Update, UpdateKind
-from ..graph.errors import EngineError
+from ..graph.errors import EngineError, ShardUnavailableError
 from ..query.pattern import QueryGraphPattern
 from ..query.terms import EdgeKey, candidate_keys_for_edge
 
@@ -92,26 +95,30 @@ _WORKER_ENGINE: Optional[ContinuousEngine] = None
 
 
 def _process_shard_init(engine_name: str, engine_kwargs: Dict[str, object], injective: bool) -> None:
-    """Pool initializer: build this shard's engine inside the worker."""
+    """Pool initializer: build this shard's engine inside the worker.
+
+    Workers ignore SIGINT/SIGTERM: a terminal signal aimed at the serving
+    process (or its whole process group — a ^C) must not kill the shards
+    out from under the parent's graceful shutdown; the parent ends workers
+    through the pool's shutdown path (and supervised respawn handles any
+    worker that dies anyway).
+    """
     global _WORKER_ENGINE
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
     from ..engines import create_engine
 
     _WORKER_ENGINE = create_engine(engine_name, injective=injective, **engine_kwargs)
 
 
-def _process_shard_call(op: str, args: Tuple) -> object:
-    """Execute one picklable command frame against the worker's engine.
+def _shard_op(engine: ContinuousEngine, op: str, args: Tuple) -> object:
+    """Dispatch one shard command against ``engine`` (any address space).
 
-    The framing is deliberately narrow: operands are the repository's
-    picklable value types (:class:`~repro.graph.elements.Update`,
-    :class:`~repro.query.pattern.QueryGraphPattern`, query-id strings) and
-    replies are plain data (a :class:`~repro.core.engine.BatchReport` with
-    its wall-clock seconds, binding dictionaries, frozensets, description
-    dictionaries) — never live relations or views, which stay inside the
-    worker.
+    Shared by the worker process (:func:`_process_shard_call`) and by the
+    proxy's graceful-degradation mode, which runs the same command frames
+    against an in-process engine after repeated worker failures — one
+    dispatch, identical semantics on both sides of the process boundary.
     """
-    engine = _WORKER_ENGINE
-    assert engine is not None, "process shard used before initialization"
     if op == "batch":
         (updates,) = args
         start = time.perf_counter()
@@ -136,11 +143,47 @@ def _process_shard_call(op: str, args: Tuple) -> object:
         return engine.satisfied_queries()
     if op == "describe":
         return engine.describe()
+    if op == "snapshot":
+        return engine.snapshot()
     raise EngineError(f"unknown process-shard command: {op!r}")  # pragma: no cover
 
 
+def _process_shard_call(op: str, args: Tuple) -> object:
+    """Execute one picklable command frame against the worker's engine.
+
+    The framing is deliberately narrow: operands are the repository's
+    picklable value types (:class:`~repro.graph.elements.Update`,
+    :class:`~repro.query.pattern.QueryGraphPattern`, query-id strings,
+    snapshot blobs) and replies are plain data (a
+    :class:`~repro.core.engine.BatchReport` with its wall-clock seconds,
+    binding dictionaries, frozensets, description dictionaries) — never
+    live relations or views, which stay inside the worker.
+
+    Two commands exist purely for supervision: ``snapshot`` ships the
+    worker engine's full state to the parent as a checksummed blob, and
+    ``restore`` rebuilds the engine from such a blob inside a freshly
+    respawned worker.
+    """
+    global _WORKER_ENGINE
+    if op == "restore":
+        (blob,) = args
+        _WORKER_ENGINE = ContinuousEngine.restore(blob)
+        return None
+    if op == "pid":
+        return os.getpid()
+    engine = _WORKER_ENGINE
+    if engine is None:
+        raise ShardUnavailableError("process shard used before initialization")
+    return _shard_op(engine, op, args)
+
+
+#: Exceptions that mean "the worker process died" (vs. an engine error,
+#: which travels back through the future as the engine's own exception).
+_WORKER_FAILURES = (BrokenProcessPool, BrokenPipeError, EOFError)
+
+
 class _ProcessShardProxy:
-    """Engine-shaped handle to a shard living in its own worker process.
+    """Supervised, engine-shaped handle to a shard in its own worker process.
 
     Each proxy owns a single-worker
     :class:`~concurrent.futures.ProcessPoolExecutor`, so every command it
@@ -148,30 +191,207 @@ class _ProcessShardProxy:
     batch out by *starting* every relevant shard's command first and
     collecting the replies afterwards — the workers run concurrently.
 
+    **Supervision.**  The proxy is the shard's supervisor: a worker death
+    (``SIGKILL``, OOM, crash — surfacing as :class:`BrokenProcessPool` on
+    the command channel) is recovered, not propagated.  The proxy keeps a
+    *recovery source*: the last worker-state snapshot it pulled (every
+    ``snapshot_every`` state-changing commands) plus the ordered log of
+    state-changing commands acknowledged since.  Recovery respawns the
+    pool with bounded exponential backoff, restores the snapshot inside
+    the fresh worker, replays the command log, and re-runs the in-flight
+    command **exactly once** — sound because the dead worker's partial
+    state died with it, so restored-state + one re-run equals a worker
+    that never died (command results and worker state live in the same
+    address space: they are lost, or delivered, together).  After
+    ``max_respawns`` worker deaths the proxy *degrades gracefully*: it
+    rebuilds the engine in-process from the same recovery source and runs
+    all further commands serially in the parent — slower, but alive.
+
     ``answer_delta_source`` always returns ``None``: the maintained answer
     relation lives in the worker's address space, so delta consumers fall
     back to exact ``matches_of`` snapshot diffs over the command channel.
     """
 
-    def __init__(self, engine_name: str, engine_kwargs: Dict[str, object], injective: bool) -> None:
+    def __init__(
+        self,
+        engine_name: str,
+        engine_kwargs: Dict[str, object],
+        injective: bool,
+        *,
+        snapshot_every: Optional[int] = 32,
+        max_respawns: int = 3,
+    ) -> None:
         self.name = engine_name
+        self._engine_kwargs = dict(engine_kwargs)
+        self._injective = injective
         self._query_ids: List[str] = []
-        self._pool = ProcessPoolExecutor(
+        #: Worker snapshot cadence in state-changing commands (None: never;
+        #: the command log then spans the shard's whole life).
+        self.snapshot_every = snapshot_every
+        self.max_respawns = max_respawns
+        self.respawns = 0
+        self.replayed_ops = 0
+        self.degraded = False
+        #: In-process engine once degraded (None while a worker serves).
+        self._local: Optional[ContinuousEngine] = None
+        #: Last worker-state snapshot blob pulled from the worker.
+        self._snapshot_blob: Optional[bytes] = None
+        #: Acknowledged state-changing commands since that snapshot.
+        self._ops_log: List[Tuple[str, Tuple]] = []
+        self._closed = False
+        self._pool = self._spawn_pool()
+
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
             max_workers=1,
             initializer=_process_shard_init,
-            initargs=(engine_name, dict(engine_kwargs), injective),
+            initargs=(self.name, dict(self._engine_kwargs), self._injective),
         )
 
-    # -- command channel -------------------------------------------------
-    def _submit(self, op: str, *args) -> Future:
-        return self._pool.submit(_process_shard_call, op, args)
+    # -- command channel (supervised) ------------------------------------
+    def _execute(self, op: str, args: Tuple):
+        """Run one command, recovering from worker death until it lands."""
+        while True:
+            if self._local is not None:
+                return _shard_op(self._local, op, args)
+            if self._closed:
+                raise ShardUnavailableError(
+                    f"process shard {self.name!r} is closed"
+                )
+            try:
+                return self._pool.submit(_process_shard_call, op, args).result()
+            except _WORKER_FAILURES:
+                self._recover()
 
     def _call(self, op: str, *args):
-        return self._submit(op, *args).result()
+        return self._execute(op, args)
+
+    def _mutate(self, op: str, *args):
+        """Run one state-changing command and log it once acknowledged."""
+        result = self._execute(op, args)
+        if self._local is None:
+            self._ops_log.append((op, args))
+            self._maybe_worker_snapshot()
+        return result
 
     def start_batch(self, updates: Sequence[Update]) -> Future:
-        """Send a batch command without waiting (the concurrent fan-out)."""
-        return self._submit("batch", list(updates))
+        """Send a batch command without waiting (the concurrent fan-out).
+
+        Pair with :meth:`finish_batch`, which collects the reply *and*
+        supervises: a worker that died mid-batch is recovered there and
+        the batch re-run exactly once.
+        """
+        updates = list(updates)
+        if self._local is not None:
+            future: Future = Future()
+            try:
+                future.set_result(_shard_op(self._local, "batch", (updates,)))
+            except Exception as error:
+                future.set_exception(error)
+            return future
+        if self._closed:
+            raise ShardUnavailableError(f"process shard {self.name!r} is closed")
+        try:
+            return self._pool.submit(_process_shard_call, "batch", (updates,))
+        except _WORKER_FAILURES:
+            # The pool broke between batches (e.g. an idle-time SIGKILL
+            # detected at submission): recover, then hand out a future
+            # against the healed worker.
+            self._recover()
+            return self.start_batch(updates)
+
+    def finish_batch(
+        self, future: Future, updates: Sequence[Update]
+    ) -> Tuple[BatchReport, FrozenSet[str], float]:
+        """Collect a :meth:`start_batch` reply, recovering a dead worker.
+
+        The exactly-once argument: the worker's reply and its state mutation
+        live in the same process, so either both survived (reply collected,
+        batch logged) or both died (worker restored to pre-batch state from
+        snapshot + log, batch re-run once via the supervised channel).
+        """
+        try:
+            result = future.result()
+        except _WORKER_FAILURES:
+            self._recover()
+            result = self._execute("batch", (list(updates),))
+        if self._local is None:
+            self._ops_log.append(("batch", (list(updates),)))
+            self._maybe_worker_snapshot()
+        return result
+
+    # -- supervision -----------------------------------------------------
+    def _recover(self) -> None:
+        """Respawn + restore the worker (bounded backoff), else degrade."""
+        self._pool.shutdown(wait=False)
+        while self.respawns < self.max_respawns:
+            self.respawns += 1
+            # 50ms, 100ms, 200ms, ... capped — enough to ride out a
+            # transient (OOM-killer sweep, cgroup hiccup) without turning
+            # a hard failure into a long hang.
+            time.sleep(min(1.0, 0.05 * (2 ** (self.respawns - 1))))
+            try:
+                self._pool = self._spawn_pool()
+                self._restore_worker()
+                return
+            except _WORKER_FAILURES:
+                self._pool.shutdown(wait=False)
+        self._degrade()
+
+    def _restore_worker(self) -> None:
+        """Rebuild a fresh worker's engine from snapshot + command log."""
+        if self._snapshot_blob is not None:
+            self._pool.submit(
+                _process_shard_call, "restore", (self._snapshot_blob,)
+            ).result()
+        for op, args in self._ops_log:
+            self._pool.submit(_process_shard_call, op, args).result()
+        self.replayed_ops += len(self._ops_log)
+
+    def _degrade(self) -> None:
+        """Fall back to serial in-process execution (worker budget spent)."""
+        if self._snapshot_blob is not None:
+            engine = ContinuousEngine.restore(self._snapshot_blob)
+        else:
+            from ..engines import create_engine
+
+            engine = create_engine(
+                self.name, injective=self._injective, **self._engine_kwargs
+            )
+        for op, args in self._ops_log:
+            _shard_op(engine, op, args)
+        self.replayed_ops += len(self._ops_log)
+        self._ops_log.clear()
+        self._local = engine
+        self.degraded = True
+
+    def _maybe_worker_snapshot(self) -> None:
+        if self.snapshot_every is None or len(self._ops_log) < self.snapshot_every:
+            return
+        try:
+            blob = self._pool.submit(_process_shard_call, "snapshot", ()).result()
+        except _WORKER_FAILURES:
+            # Worker died during the snapshot pull: keep the old recovery
+            # source intact; the next command notices and recovers.
+            return
+        self._snapshot_blob = blob
+        self._ops_log.clear()
+
+    def worker_pid(self) -> Optional[int]:
+        """OS pid of the live worker process (``None`` once degraded)."""
+        if self._local is not None:
+            return None
+        return self._call("pid")
+
+    def kill_worker(self) -> None:
+        """SIGKILL the worker process (fault injection; tests, tooling).
+
+        The next command on this proxy observes the death and triggers
+        supervised recovery — exactly the path a real worker crash takes.
+        """
+        pid = self.worker_pid()
+        if pid is not None:
+            os.kill(pid, signal.SIGKILL)
 
     # -- the engine surface the group needs ------------------------------
     @property
@@ -184,18 +404,18 @@ class _ProcessShardProxy:
         return tuple(self._query_ids)
 
     def register(self, pattern: QueryGraphPattern) -> None:
-        self._call("register", pattern)
+        self._mutate("register", pattern)
         self._query_ids.append(pattern.query_id)
 
     def backfill(self, updates: Sequence[Update]) -> None:
-        self._call("backfill", list(updates))
+        self._mutate("backfill", list(updates))
 
     def on_update(self, update: Update) -> BatchReport:
-        report, _, _ = self.start_batch([update]).result()
-        return report
+        return self.on_batch([update])
 
     def on_batch(self, updates: Sequence[Update]) -> BatchReport:
-        report, _, _ = self.start_batch(updates).result()
+        updates = list(updates)
+        report, _, _ = self.finish_batch(self.start_batch(updates), updates)
         return report
 
     def matches_of(self, query_id: str) -> List[Dict[str, str]]:
@@ -211,10 +431,62 @@ class _ProcessShardProxy:
         return self._call("satisfied")
 
     def describe(self) -> Dict[str, object]:
-        return self._call("describe")
+        info = dict(self._call("describe"))
+        info["supervision"] = {
+            "respawns": self.respawns,
+            "replayed_ops": self.replayed_ops,
+            "degraded": self.degraded,
+            "ops_logged": len(self._ops_log),
+            "worker_snapshot": self._snapshot_blob is not None,
+        }
+        return info
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._pool.shutdown()
+
+    # -- pickling (group snapshots) --------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle as the worker engine's snapshot blob plus proxy config.
+
+        The pool is process-local and cannot travel; what a snapshot of a
+        sharded group must preserve is the *engine state* inside each
+        worker.  Pulling it here is what lets a whole process-executor
+        group be snapshotted by the durability layer like any engine.
+        """
+        if self._local is not None:
+            blob = self._local.snapshot()
+        else:
+            blob = self._call("snapshot")
+        return {
+            "name": self.name,
+            "engine_kwargs": self._engine_kwargs,
+            "injective": self._injective,
+            "query_ids": list(self._query_ids),
+            "snapshot_every": self.snapshot_every,
+            "max_respawns": self.max_respawns,
+            "blob": blob,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Unpickle by spawning a fresh worker restored from the blob."""
+        self.name = state["name"]
+        self._engine_kwargs = dict(state["engine_kwargs"])
+        self._injective = state["injective"]
+        self._query_ids = list(state["query_ids"])
+        self.snapshot_every = state["snapshot_every"]
+        self.max_respawns = state["max_respawns"]
+        self.respawns = 0
+        self.replayed_ops = 0
+        self.degraded = False
+        self._local = None
+        self._snapshot_blob = state["blob"]
+        self._ops_log = []
+        self._closed = False
+        self._pool = self._spawn_pool()
+        self._restore_worker()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"_ProcessShardProxy({self.name!r}, queries={self.num_queries})"
@@ -248,6 +520,16 @@ class ShardedEngineGroup(ContinuousEngine):
         (ignored when ``engine`` is already a callable).
     injective:
         Injective (isomorphism) answer semantics, forwarded to the shards.
+    worker_snapshot_every:
+        Process executor only: pull a recovery snapshot from each worker
+        every this many state-changing commands (``None`` disables, making
+        recovery replay the shard's whole command history).  The snapshot
+        plus the command log since it is what a respawned worker is
+        restored from.
+    max_respawns:
+        Process executor only: worker deaths a shard survives via
+        respawn + restore before degrading gracefully to in-process serial
+        execution.
     """
 
     def __init__(
@@ -259,6 +541,8 @@ class ShardedEngineGroup(ContinuousEngine):
         executor: str = "serial",
         injective: bool = False,
         engine_kwargs: Optional[Dict[str, object]] = None,
+        worker_snapshot_every: Optional[int] = 32,
+        max_respawns: int = 3,
     ) -> None:
         super().__init__(injective=injective)
         if num_shards < 1:
@@ -296,7 +580,13 @@ class ShardedEngineGroup(ContinuousEngine):
             worker_injective = bool(kwargs.get("injective", injective))
             worker_kwargs = {k: v for k, v in kwargs.items() if k != "injective"}
             self.shards: List[ContinuousEngine] = [
-                _ProcessShardProxy(engine, worker_kwargs, worker_injective)
+                _ProcessShardProxy(
+                    engine,
+                    worker_kwargs,
+                    worker_injective,
+                    snapshot_every=worker_snapshot_every,
+                    max_respawns=max_respawns,
+                )
                 for _ in range(num_shards)
             ]
         else:
@@ -376,6 +666,20 @@ class ShardedEngineGroup(ContinuousEngine):
             self.close()
         except Exception:
             pass
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without the thread pool (snapshots of sharded groups).
+
+        In-process shards pickle as themselves; process shards pickle as
+        their worker-state blobs (see ``_ProcessShardProxy.__getstate__``),
+        so unpickling a group respawns restored workers.  The unpickled
+        group is open regardless of the original's closed flag — a restore
+        is a fresh lease on life.
+        """
+        state = self.__dict__.copy()
+        state["_thread_pool"] = None
+        state["_closed"] = False
+        return state
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._closed:
@@ -574,8 +878,14 @@ class ShardedEngineGroup(ContinuousEngine):
         """Execute per-shard batch jobs under the configured executor."""
         if self.executor == "process":
             # Start every worker first, then collect: the shards overlap.
+            # Collection goes through each proxy's finish_batch, which is
+            # where worker death is detected and supervised recovery (and
+            # the exactly-once re-run of the in-flight batch) happens.
             futures = [self.shards[index].start_batch(updates) for index, updates in jobs]
-            return [future.result() for future in futures]
+            return [
+                self.shards[index].finish_batch(future, updates)
+                for (index, updates), future in zip(jobs, futures)
+            ]
         if self.executor == "thread" and len(jobs) > 1:
             pool = self._pool()
             futures = [
@@ -654,6 +964,18 @@ class ShardedEngineGroup(ContinuousEngine):
         description["affected_per_batch"] = (
             round(self._affected_reported / self._fan_outs, 3) if self._fan_outs else 0.0
         )
+        if self.executor == "process":
+            proxies = [
+                shard for shard in self.shards
+                if isinstance(shard, _ProcessShardProxy)
+            ]
+            description["shard_respawns"] = [proxy.respawns for proxy in proxies]
+            description["shard_replayed_ops"] = [
+                proxy.replayed_ops for proxy in proxies
+            ]
+            description["degraded_shards"] = sum(
+                1 for proxy in proxies if proxy.degraded
+            )
         description["per_shard"] = self.shard_statistics()
         return description
 

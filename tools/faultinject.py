@@ -1,0 +1,287 @@
+"""Fault-injection harness: crash the serving stack on purpose, from a shell.
+
+Three subcommands, mirroring the failure modes the durability layer
+(`src/repro/persistence/`) recovers from:
+
+``kill-worker``
+    Run ``repro-serve --executor process`` twice over the same seeded
+    stream — once undisturbed, once while SIGKILLing live shard worker
+    processes mid-stream — and assert the delivered delta stream is
+    byte-identical and the stderr summary reports the respawns.  This is
+    the CI recovery smoke.
+
+``tear-tail``
+    Truncate the final bytes of a durability directory's ``journal.wal``
+    (a crash mid-``write(2)``), then replay it and report how recovery
+    sees the damage: the torn final record is truncated, every record
+    before it survives.
+
+``corrupt-tail``
+    Flip one byte at a chosen offset from the end of ``journal.wal`` and
+    report the verdict: damage inside the final record is truncated like a
+    tear; damage before it refuses recovery with ``JournalCorruptError``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/faultinject.py kill-worker --updates 2000
+    PYTHONPATH=src python tools/faultinject.py tear-tail -d /tmp/state
+    PYTHONPATH=src python tools/faultinject.py corrupt-tail -d /tmp/state --offset 400
+
+Every subcommand prints a JSON verdict on stdout and exits 0 on the
+expected (recovered) outcome, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.graph.errors import JournalCorruptError  # noqa: E402
+from repro.persistence import (  # noqa: E402
+    DeltaJournal,
+    corrupt_file_tail,
+    parse_frames,
+    truncate_file_tail,
+)
+
+
+# ----------------------------------------------------------------------
+# kill-worker: SIGKILL live shard workers under a running repro-serve
+# ----------------------------------------------------------------------
+def _serve_command(args, journal_dir=None):
+    command = [
+        sys.executable,
+        "-m",
+        "repro.pubsub.serve",
+        "--dataset", args.dataset,
+        "--updates", str(args.updates),
+        "--queries", str(args.queries),
+        "--shards", str(args.shards),
+        "--executor", "process",
+        "--subscribe", f"{args.subscribe}-of-{args.queries}",
+        "--batch-size", str(args.batch_size),
+        "--seed", str(args.seed),
+    ]
+    if journal_dir is not None:
+        command += ["--journal-dir", str(journal_dir)]
+    return command
+
+
+def _child_pids(pid: int):
+    """Worker processes forked by ``pid`` (via /proc; Linux only)."""
+    children = []
+    task_dir = Path(f"/proc/{pid}/task")
+    try:
+        for task in task_dir.iterdir():
+            children_file = task / "children"
+            if children_file.exists():
+                children.extend(
+                    int(child) for child in children_file.read_text().split()
+                )
+    except OSError:
+        pass
+    return children
+
+
+def cmd_kill_worker(args) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+
+    baseline = subprocess.run(
+        _serve_command(args),
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=args.timeout,
+    )
+    if baseline.returncode != 0:
+        print(json.dumps({"error": "baseline run failed", "stderr": baseline.stderr[-2000:]}))
+        return 1
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        journal_dir = Path(scratch) / "state" if args.journal_dir else None
+        process = subprocess.Popen(
+            _serve_command(args, journal_dir),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        # Block until the first delivered delta: the replay is provably
+        # mid-stream, so the SIGKILL lands on a worker with work left.
+        first_line = process.stdout.readline()
+        killed = []
+        for _ in range(args.kills):
+            if process.poll() is not None:
+                break
+            workers = [
+                pid for pid in _child_pids(process.pid) if pid not in killed
+            ]
+            if not workers:
+                break
+            try:
+                os.kill(workers[0], signal.SIGKILL)
+                killed.append(workers[0])
+            except ProcessLookupError:
+                continue
+            # Let the supervisor respawn before the next round so a second
+            # kill hits a live worker, not the corpse.
+            time.sleep(args.kill_gap)
+        try:
+            stdout, stderr = process.communicate(timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            print(json.dumps({"error": "faulted run hung past the timeout"}))
+            return 1
+        stdout = first_line + stdout
+
+    # The stderr summary is the last pretty-printed JSON object; worker
+    # tracebacks (the kills) may precede it.
+    summary = {}
+    lines = stderr.splitlines()
+    for index in range(len(lines) - 1, -1, -1):
+        if lines[index] == "{":
+            try:
+                summary = json.loads("\n".join(lines[index:]))
+            except ValueError:
+                summary = {}
+            break
+    respawns = summary.get("shard_respawns", [])
+    verdict = {
+        "identical_output": stdout == baseline.stdout,
+        "exit_code": process.returncode,
+        "workers_killed": len(killed),
+        "shard_respawns": respawns,
+        "shard_replayed_ops": summary.get("shard_replayed_ops", []),
+        "degraded_shards": summary.get("degraded_shards"),
+        "deltas_delivered": summary.get("deltas_delivered"),
+    }
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    recovered = (
+        verdict["identical_output"]
+        and process.returncode == 0
+        and len(killed) >= 1
+        and sum(respawns) >= 1
+    )
+    return 0 if recovered else 1
+
+
+# ----------------------------------------------------------------------
+# tear-tail / corrupt-tail: journal damage + recovery verdict
+# ----------------------------------------------------------------------
+def _journal_path(directory: str) -> Path:
+    path = Path(directory)
+    return path if path.is_file() else path / "journal.wal"
+
+
+def cmd_tear_tail(args) -> int:
+    path = _journal_path(args.directory)
+    before = path.stat().st_size
+    truncate_file_tail(path, args.bytes)
+    with DeltaJournal(path) as journal:
+        records, truncated = journal.replay()
+    verdict = {
+        "journal": str(path),
+        "bytes_torn": args.bytes,
+        "size_before": before,
+        "size_after": path.stat().st_size,
+        "records_recovered": len(records),
+        "torn_tail_truncated": truncated,
+    }
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_corrupt_tail(args) -> int:
+    path = _journal_path(args.directory)
+    corrupt_file_tail(path, offset_from_end=args.offset)
+    try:
+        records, good_length, torn = parse_frames(path.read_bytes())
+    except JournalCorruptError as refused:
+        verdict = {
+            "journal": str(path),
+            "offset_from_end": args.offset,
+            "verdict": "interior corruption: recovery refused",
+            "error": str(refused),
+        }
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+        return 0  # refusing to trust a damaged interior IS the contract
+    verdict = {
+        "journal": str(path),
+        "offset_from_end": args.offset,
+        "verdict": "tail corruption: truncated like a torn record",
+        "records_recovered": len(records),
+        "good_length": good_length,
+        "torn_tail": torn,
+    }
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="faultinject.py",
+        description=__doc__.splitlines()[0],
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    kill = commands.add_parser(
+        "kill-worker", help="SIGKILL shard workers under repro-serve; compare output"
+    )
+    kill.add_argument("--dataset", default="snb")
+    kill.add_argument("--updates", type=int, default=2_000)
+    kill.add_argument("--queries", type=int, default=40)
+    kill.add_argument("--shards", type=int, default=2)
+    kill.add_argument("--subscribe", type=int, default=5)
+    kill.add_argument("--batch-size", type=int, default=8)
+    kill.add_argument("--seed", type=int, default=17)
+    kill.add_argument("--kills", type=int, default=1,
+                      help="workers to SIGKILL, one per round (default 1)")
+    kill.add_argument("--kill-gap", type=float, default=1.0,
+                      help="seconds between kill rounds (default 1)")
+    kill.add_argument("--journal-dir", action="store_true",
+                      help="also journal the faulted run to a temp directory")
+    kill.add_argument("--timeout", type=float, default=600.0)
+    kill.set_defaults(handler=cmd_kill_worker)
+
+    tear = commands.add_parser(
+        "tear-tail", help="truncate a journal's final bytes; show recovery"
+    )
+    tear.add_argument("--directory", "-d", required=True,
+                      help="durability directory (or journal file) to damage")
+    tear.add_argument("--bytes", type=int, default=9,
+                      help="bytes to cut off the tail (default 9)")
+    tear.set_defaults(handler=cmd_tear_tail)
+
+    corrupt = commands.add_parser(
+        "corrupt-tail", help="flip one journal byte; show the recovery verdict"
+    )
+    corrupt.add_argument("--directory", "-d", required=True,
+                         help="durability directory (or journal file) to damage")
+    corrupt.add_argument("--offset", type=int, default=4,
+                         help="offset from the end of the file (default 4)")
+    corrupt.set_defaults(handler=cmd_corrupt_tail)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
