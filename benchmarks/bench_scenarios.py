@@ -1,0 +1,128 @@
+"""The scenario matrix: every engine x every synthetic scenario, oracle-gated.
+
+Every other benchmark replays the same SNB-derived streams, so until now
+"fast" has meant "fast on fig12a".  This benchmark runs each of the 8
+engines through every scenario of the seeded synthetic workload generator
+(``repro.bench.workloads``) — insert-heavy, delete-heavy, bursty,
+high-skew, churn-heavy subscriptions, and a long add/delete soak — and
+gates every cell on the golden-reference principle: the replay transcript
+(per-tick notified ids + the final answer set of every query) must be
+**byte-identical** to the string oracle's (``Naive``, full re-evaluation).
+A cell that is fast but wrong fails the suite, not the assertion
+tolerance.
+
+Each cell records throughput and p50/p95/p99 tick latency; the soak cells
+additionally record the interner's live-id count (the append-only-interner
+growth measurement from ROADMAP item 3).  Results land in the
+``scenario_matrix`` section of ``BENCH_hotpath.json``.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_SCALE``
+    Global size multiplier (CI smoke uses 0.05-0.1).
+``REPRO_SCENARIO_ENGINES``
+    Comma-separated engine subset, e.g. ``TRIC+,INV``.
+``REPRO_SCENARIO_SCENARIOS``
+    Comma-separated scenario subset, e.g. ``insert_heavy,churn_heavy``.
+
+Run directly (the file name keeps it out of the default tier-1
+collection)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scenarios.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.configs import bench_scale_from_env
+from repro.bench.workloads import SCENARIOS, generate_workload, run_workload
+from repro.engines import ENGINE_FACTORIES
+from repro.graph.errors import BenchmarkError
+
+#: Where the committed performance trajectory lives (repository root).
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_hotpath.json"
+
+#: The string oracle every cell is gated against.
+ORACLE = "Naive"
+
+#: Default scale: the full matrix is 8 engines x 6 scenarios with Naive
+#: re-evaluating the whole query database per tick, so the committed
+#: numbers run at a moderate scale and CI smoke goes smaller still.
+DEFAULT_SCALE = 0.5
+
+
+def _csv_env(variable: str, default: List[str], universe: List[str]) -> List[str]:
+    raw = os.environ.get(variable, "").strip()
+    if not raw:
+        return default
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    unknown = [name for name in names if name not in universe]
+    if unknown:
+        raise BenchmarkError(
+            f"{variable} names unknown entries {unknown}; available: {', '.join(universe)}"
+        )
+    return names
+
+
+def _write_json(payload: Dict) -> None:
+    existing = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            existing = {}
+    existing.update(payload)
+    RESULT_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def test_scenario_matrix_oracle_verified():
+    """Every engine x scenario cell must replay byte-identical to the oracle."""
+    scale = bench_scale_from_env(default=DEFAULT_SCALE)
+    engines = _csv_env(
+        "REPRO_SCENARIO_ENGINES", list(ENGINE_FACTORIES), list(ENGINE_FACTORIES)
+    )
+    scenario_names = _csv_env(
+        "REPRO_SCENARIO_SCENARIOS", list(SCENARIOS), list(SCENARIOS)
+    )
+
+    matrix: Dict[str, Dict] = {}
+    for scenario_name in scenario_names:
+        spec = SCENARIOS[scenario_name].scaled(scale)
+        workload = generate_workload(spec)
+        oracle_result = run_workload(workload, ORACLE)
+        oracle_digest = oracle_result.transcript_digest()
+
+        cells: Dict[str, Dict] = {ORACLE: oracle_result.as_dict()}
+        for engine_name in engines:
+            if engine_name == ORACLE:
+                continue
+            result = run_workload(workload, engine_name)
+            # The golden-reference gate: byte identity, not tolerance.
+            assert result.transcript == oracle_result.transcript, (
+                f"{engine_name} diverged from the {ORACLE} oracle on "
+                f"scenario {scenario_name!r} (digest {result.transcript_digest()[:16]} "
+                f"vs {oracle_digest[:16]})"
+            )
+            cells[engine_name] = result.as_dict()
+
+        matrix[scenario_name] = {
+            "workload": workload.describe(),
+            "oracle_digest": oracle_digest[:16],
+            "engines": cells,
+        }
+        fastest = max(
+            (name for name in cells),
+            key=lambda name: cells[name]["updates_per_s"],
+        )
+        print(
+            f"[{scenario_name}] {len(workload.stream)} updates / "
+            f"{workload.num_ticks} ticks, {len(workload.queries)} queries — "
+            f"all {len(cells)} engines oracle-identical; fastest: {fastest} "
+            f"({cells[fastest]['updates_per_s']:.0f} upd/s)"
+        )
+
+    _write_json({"scenario_matrix": {"scale": scale, "scenarios": matrix}})

@@ -16,8 +16,28 @@ from .experiments import (
 )
 from .figures import FIGURES, FigureSpec
 from .runner import main, render_experiment
+from .workloads import (
+    SCENARIOS,
+    ChurnEvent,
+    SyntheticWorkload,
+    WorkloadRunResult,
+    WorkloadSpec,
+    generate_workload,
+    run_workload,
+    scenario_names,
+    scenario_spec,
+)
 
 __all__ = [
+    "SCENARIOS",
+    "ChurnEvent",
+    "SyntheticWorkload",
+    "WorkloadRunResult",
+    "WorkloadSpec",
+    "generate_workload",
+    "run_workload",
+    "scenario_names",
+    "scenario_spec",
     "ExperimentConfig",
     "DEFAULT_BENCH_SCALE",
     "bench_scale_from_env",

@@ -19,11 +19,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from ..engines import ANSWER_MATERIALISING_ENGINES, ENGINE_STRATEGIES
+from ..engines import ANSWER_MATERIALISING_ENGINES, ENGINE_FACTORIES, ENGINE_STRATEGIES
 from ..pubsub.serve import parse_subscribe_spec
 from .configs import DEFAULT_BENCH_SCALE
 from .experiments import EXPERIMENTS, ExperimentResult, experiment_ids, run_experiment
 from .figures import FIGURES
+from .workloads import SCENARIOS, generate_workload, run_workload
 
 __all__ = ["main", "build_parser", "render_experiment"]
 
@@ -42,6 +43,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--list-engines", action="store_true",
                         help="list the engine matrix (base vs answer-materialising '+' "
                         "variants) and exit")
+    parser.add_argument("--workload", "-w", action="append", dest="workloads",
+                        metavar="NAME",
+                        help="run a named synthetic scenario workload (see "
+                        "--list-workloads) through the selected engines, every "
+                        "run verified byte-identical against the Naive string "
+                        "oracle; may be repeated")
+    parser.add_argument("--list-workloads", action="store_true",
+                        help="list the synthetic scenario workloads and exit")
+    parser.add_argument("--engines", default=None, metavar="CSV",
+                        help="comma-separated engine subset for --workload runs "
+                        "(default: every engine)")
     parser.add_argument("--scale", type=float, default=None,
                         help="scale factor applied to stream/query sizes and time budgets "
                         f"(default: experiment default; benchmarks use {DEFAULT_BENCH_SCALE})")
@@ -92,6 +104,55 @@ def render_experiment(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def run_workloads(
+    names: Sequence[str],
+    engine_names: Sequence[str],
+    *,
+    scale: Optional[float] = None,
+    shards: int = 1,
+    executor: str = "serial",
+) -> int:
+    """Run named scenario workloads through engines, oracle-verified.
+
+    Every engine's transcript (per-tick notified ids + final answers) must
+    be byte-identical to the ``Naive`` string oracle's; a divergent engine
+    fails the run with exit code 1.
+    """
+    for name in names:
+        spec = SCENARIOS[name]
+        if scale is not None:
+            spec = spec.scaled(scale)
+        workload = generate_workload(spec)
+        description = workload.describe()
+        print(
+            f"=== workload {name} ({description['updates']} updates, "
+            f"{description['ticks']} ticks, {description['queries']} queries, "
+            f"fingerprint {description['fingerprint']}) ==="
+        )
+        oracle = run_workload(workload, "Naive", shards=1)
+        header = f"{'engine':10s} {'upd/s':>10s} {'p50 ms':>9s} {'p95 ms':>9s} {'p99 ms':>9s}  oracle"
+        print(header)
+        divergent = False
+        for engine_name in engine_names:
+            if engine_name == "Naive":
+                result = oracle
+            else:
+                result = run_workload(workload, engine_name, shards=shards, executor=executor)
+            identical = result.transcript == oracle.transcript
+            divergent = divergent or not identical
+            print(
+                f"{engine_name:10s} {result.updates_per_s:10.0f} "
+                f"{result.tick_latency.p50_ms:9.3f} {result.tick_latency.p95_ms:9.3f} "
+                f"{result.tick_latency.p99_ms:9.3f}  "
+                f"{'identical' if identical else 'DIVERGED'}"
+            )
+        print()
+        if divergent:
+            print(f"workload {name}: engine output diverged from the oracle", file=sys.stderr)
+            return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -108,6 +169,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             tier = "answers" if name in ANSWER_MATERIALISING_ENGINES else "base"
             print(f"{name:8s} {tier:8s} {strategy}")
         return 0
+
+    if args.list_workloads:
+        for name, spec in SCENARIOS.items():
+            print(f"{name:14s} {spec.description}")
+        return 0
+
+    engine_names: List[str] = list(ENGINE_FACTORIES)
+    if args.engines is not None:
+        engine_names = [name.strip() for name in args.engines.split(",") if name.strip()]
+        unknown = [name for name in engine_names if name not in ENGINE_FACTORIES]
+        if unknown or not engine_names:
+            print(
+                f"unknown engine(s): {', '.join(unknown) or '(none given)'}; "
+                f"available engines: {', '.join(ENGINE_FACTORIES)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.workloads:
+        unknown = [name for name in args.workloads if name not in SCENARIOS]
+        if unknown:
+            print(
+                f"unknown workload(s): {', '.join(unknown)}; "
+                f"available workloads: {', '.join(SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.shards is not None and args.shards < 1:
+            print("--shards must be at least 1", file=sys.stderr)
+            return 2
+        return run_workloads(
+            args.workloads,
+            engine_names,
+            scale=args.scale,
+            shards=args.shards or 1,
+            executor=args.executor or "serial",
+        )
 
     selected: List[str]
     if args.all:

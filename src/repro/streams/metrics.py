@@ -76,14 +76,28 @@ class TimingStats:
             return 0.0
         return statistics.median(self.samples) * 1e3
 
-    @property
-    def p95_ms(self) -> float:
-        """95th-percentile latency in milliseconds (0 when empty)."""
+    def percentile_ms(self, fraction: float) -> float:
+        """Nearest-rank ``fraction`` percentile in milliseconds (0 when empty)."""
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
         return ordered[index] * 1e3
+
+    @property
+    def p50_ms(self) -> float:
+        """50th-percentile latency in milliseconds (0 when empty)."""
+        return self.percentile_ms(0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile latency in milliseconds (0 when empty)."""
+        return self.percentile_ms(0.95)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile latency in milliseconds (0 when empty)."""
+        return self.percentile_ms(0.99)
 
     @property
     def max_ms(self) -> float:
@@ -99,7 +113,9 @@ class TimingStats:
             "total_s": self.total_seconds,
             "mean_ms": self.mean_ms,
             "median_ms": self.median_ms,
+            "p50_ms": self.p50_ms,
             "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
             "max_ms": self.max_ms,
         }
 
