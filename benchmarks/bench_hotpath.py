@@ -1313,3 +1313,184 @@ def test_durability_overhead():
             }
         }
     )
+
+
+# ----------------------------------------------------------------------
+# Replication: replica read scaling, failover & rolling-restart pauses
+# ----------------------------------------------------------------------
+#: Replica counts per shard for the read-throughput grid.
+REPLICA_COUNTS = (0, 1, 2)
+#: Read rounds over the polled query subset per grid cell.
+REPLICA_READ_ROUNDS = 3
+#: Primary kills (and rolling restarts) sampled for the pause percentiles.
+FAILOVER_SAMPLES = 3
+
+
+def _pause_percentiles(samples: Sequence[float]) -> Dict[str, float]:
+    ordered = sorted(samples)
+
+    def pick(q: float) -> float:
+        return round(ordered[min(len(ordered) - 1, int(q * len(ordered)))], 6)
+
+    return {"p50": pick(0.5), "p90": pick(0.9), "max": round(ordered[-1], 6)}
+
+
+def test_replication_reads_and_pauses():
+    """Replica read scaling plus failover and rolling-restart pauses.
+
+    Three measurements over the deletion-heavy stream on the process
+    executor: (1) ``matches_of`` read throughput at 0/1/2 replicas per
+    shard — with replicas attached the reads must actually be served by
+    them, and every cell's answers must be byte-identical; (2) the pause
+    a SIGKILLed primary imposes on the next batch (replica promotion vs
+    the 0-replica snapshot-respawn path); (3) the pause of a full
+    ``rolling_restart()``.  No speed gate — replica reads pay one IPC
+    round-trip either way, so single-host throughput parity plus the
+    mechanics assertions (reads served by replicas, promotions not
+    respawns, zero degraded shards) are the deliverable, and the
+    committed pause percentiles are the paper-facing numbers.
+    """
+    scale = min(bench_scale_from_env(default=DEFAULT_SCALE), POLLING_SCALE_CAP)
+    updates, workload = _deletion_heavy_workload(scale)
+    batch_size = PARALLEL_BATCH_SIZE
+    cpus = os.cpu_count() or 1
+
+    def build_group(replicas):
+        group = ShardedEngineGroup("TRIC+", 2, executor="process", replicas=replicas)
+        group.register_all(workload.queries)
+        for index in range(0, len(updates), batch_size):
+            group.on_batch(updates[index : index + batch_size])
+        return group
+
+    def answers_of(group, queries):
+        return json.dumps(
+            {
+                query_id: [
+                    sorted(map(list, sorted(binding.items())))
+                    for binding in group.matches_of(query_id)
+                ]
+                for query_id in queries
+            },
+            sort_keys=True,
+        )
+
+    # -- read throughput at 0/1/2 replicas per shard -------------------
+    read_grid: Dict[str, Dict[str, float]] = {}
+    answers: Dict[int, str] = {}
+    for replicas in REPLICA_COUNTS:
+        group = build_group(replicas)
+        queries = sorted(group.queries)[:MAX_POLLED_QUERIES]
+        reads = 0
+        start = time.perf_counter()
+        for _ in range(REPLICA_READ_ROUNDS):
+            for query_id in queries:
+                group.matches_of(query_id)
+                reads += 1
+        read_s = time.perf_counter() - start
+        answers[replicas] = answers_of(group, queries)
+        served = sum(
+            info["replicas"]["reads_served"]
+            for info in group.replication_statistics()
+            if info["replicas"] is not None
+        )
+        if replicas:
+            assert served >= reads, "replica reads not routed to replicas"
+        read_grid[str(replicas)] = {
+            "seconds": round(read_s, 4),
+            "reads": reads,
+            "reads_per_s": round(reads / read_s, 1),
+            "served_by_replicas": served,
+        }
+        group.close()
+    assert len(set(answers.values())) == 1, "replica answers diverged"
+
+    # -- failover pause: SIGKILL a primary, time the next batch --------
+    def sample_failover(replicas):
+        group = build_group(replicas)
+        tick = updates[:batch_size]
+        baseline = time.perf_counter()
+        group.on_batch(tick)
+        baseline = time.perf_counter() - baseline
+        pauses = []
+        for index in range(FAILOVER_SAMPLES):
+            group.shards[index % 2].kill_worker()
+            start = time.perf_counter()
+            group.on_batch(tick)
+            pauses.append(time.perf_counter() - start)
+        stats = group.replication_statistics()
+        promotions = sum(info["promotions"] for info in stats)
+        respawns = sum(info["respawns"] for info in stats)
+        degraded = group.describe()["degraded_shards"]
+        group.close()
+        return baseline, pauses, promotions, respawns, degraded
+
+    promote_base, promote_pauses, promotions, promote_respawns, degraded = (
+        sample_failover(replicas=1)
+    )
+    assert promotions == FAILOVER_SAMPLES, "primary kills did not promote"
+    assert promote_respawns == 0, "promotion fell back to respawn"
+    assert degraded == 0
+    respawn_base, respawn_pauses, _, respawns, degraded = sample_failover(replicas=0)
+    assert respawns == FAILOVER_SAMPLES, "primary kills did not respawn"
+    assert degraded == 0
+
+    # -- rolling-restart pause -----------------------------------------
+    group = build_group(replicas=1)
+    restart_pauses = []
+    for _ in range(FAILOVER_SAMPLES):
+        report = group.rolling_restart()
+        restart_pauses.extend(report["pause_seconds"])
+    assert group.rolling_restarts == FAILOVER_SAMPLES
+    queries = sorted(group.queries)[:MAX_POLLED_QUERIES]
+    assert answers_of(group, queries) == answers[1], "restart changed answers"
+    group.close()
+
+    print()
+    print(
+        f"replication ({len(updates)} updates, 2 shards, {cpus} cpu(s); "
+        f"reads over {MAX_POLLED_QUERIES} queries x {REPLICA_READ_ROUNDS} rounds)"
+    )
+    rows = [
+        (
+            f"x{replicas}",
+            f"{read_grid[str(replicas)]['seconds']:.3f}",
+            f"{read_grid[str(replicas)]['reads_per_s']:.0f}",
+            str(read_grid[str(replicas)]["served_by_replicas"]),
+        )
+        for replicas in REPLICA_COUNTS
+    ]
+    print(format_table(("replicas", "read (s)", "reads/s", "via replicas"), rows))
+    rows = [
+        ("promote (1 replica)", *(f"{p * 1000:.1f}" for p in sorted(promote_pauses))),
+        ("respawn (0 replicas)", *(f"{p * 1000:.1f}" for p in sorted(respawn_pauses))),
+        (
+            "rolling restart/shard",
+            *(f"{p * 1000:.1f}" for p in sorted(restart_pauses)[:FAILOVER_SAMPLES]),
+        ),
+    ]
+    print(format_table(("pause (ms, sorted)", "fastest", "mid", "slowest"), rows))
+    _write_json(
+        {
+            "replication": {
+                "scale": scale,
+                "num_updates": len(updates),
+                "num_queries": len(workload.queries),
+                "batch_size": batch_size,
+                "cpus": cpus,
+                "shards": 2,
+                "read_throughput": read_grid,
+                "failover_pause_s": {
+                    "batch_baseline_s": round(promote_base, 6),
+                    "promote": _pause_percentiles(promote_pauses),
+                    "respawn": _pause_percentiles(respawn_pauses),
+                    "promotions": promotions,
+                    "respawns": respawns,
+                },
+                "rolling_restart_pause_s": dict(
+                    _pause_percentiles(restart_pauses),
+                    restarts=FAILOVER_SAMPLES,
+                    baseline_s=round(respawn_base, 6),
+                ),
+            }
+        }
+    )

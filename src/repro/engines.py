@@ -99,18 +99,29 @@ def create_sharded_engine(
     journal_dir: "str | None" = None,
     snapshot_every: "int | None" = None,
     journal_fsync: bool = True,
+    replicas: int = 0,
+    respawn_window: "float | None" = 60.0,
     **kwargs,
 ) -> ContinuousEngine:
     """Engine ``name``, sharded across ``num_shards`` instances when > 1.
 
-    With ``num_shards <= 1`` this is exactly :func:`create_engine`;
-    otherwise the query database is partitioned across independent engine
-    instances behind a
+    With ``num_shards <= 1`` (and no replicas) this is exactly
+    :func:`create_engine`; otherwise the query database is partitioned
+    across independent engine instances behind a
     :class:`~repro.pubsub.sharding.ShardedEngineGroup` (``assignment`` is
     ``"hash"`` or ``"label"``; ``executor`` is ``"serial"``, ``"thread"``
     or ``"process"`` and decides how a batch fans out to the relevant
     shards).  Keyword arguments are forwarded to the underlying engine
     factory either way.
+
+    ``replicas`` (process executor only) attaches that many replica
+    workers to every shard: they bootstrap from the primary's snapshot,
+    tail its acknowledged-ops log, absorb ``matches_of`` /
+    ``has_matches`` / ``describe`` traffic, and stand in for a dead
+    primary via promotion.  A single-shard engine with replicas is still
+    built as a (one-shard) group, since replication lives in the shard
+    proxy.  ``respawn_window`` bounds how long worker deaths count
+    against the shard's respawn budget (``None``: lifetime cap).
 
     ``journal_dir`` makes the result durable: the engine (or the whole
     sharded group) is wrapped in a
@@ -129,12 +140,14 @@ def create_sharded_engine(
             num_shards,
             assignment=assignment,
             executor=executor,
+            replicas=replicas,
+            respawn_window=respawn_window,
             **kwargs,
         )
         return DurableEngine(
             engine, journal_dir, snapshot_every=snapshot_every, fsync=journal_fsync
         )
-    if num_shards <= 1:
+    if num_shards <= 1 and replicas <= 0:
         return create_engine(name, **kwargs)
     if name not in ENGINE_FACTORIES:
         raise EngineError(
@@ -145,9 +158,11 @@ def create_sharded_engine(
     injective = bool(kwargs.pop("injective", False))
     return ShardedEngineGroup(
         name,
-        num_shards,
+        max(1, num_shards),
         assignment=assignment,
         executor=executor,
         injective=injective,
         engine_kwargs=kwargs,
+        replicas=replicas,
+        respawn_window=respawn_window,
     )

@@ -16,6 +16,10 @@ life beyond its process:
 * :mod:`~repro.persistence.faults` — deterministic fault injection
   (:class:`~repro.persistence.faults.FaultInjector`) the recovery property
   tests and ``tools/faultinject.py`` drive.
+* :mod:`~repro.persistence.replication` — the process-shard worker
+  runtime plus :class:`~repro.persistence.replication.ReplicaSet`:
+  replica workers that tail a primary's acknowledged-ops log, absorb
+  read traffic, and stand in for a dead primary via promotion.
 """
 
 from .durable import DurableEngine
@@ -26,6 +30,7 @@ from .faults import (
     truncate_file_tail,
 )
 from .journal import DeltaJournal, JournalRecord, frame_record, parse_frames
+from .replication import WORKER_FAILURES, ReplicaSet
 from .snapshots import (
     SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
@@ -45,6 +50,8 @@ from .snapshots import (
 
 __all__ = [
     "DurableEngine",
+    "ReplicaSet",
+    "WORKER_FAILURES",
     "DeltaJournal",
     "JournalRecord",
     "frame_record",

@@ -22,6 +22,8 @@ a crash *mid-append* leaves a torn final record that replay truncates
 
 from __future__ import annotations
 
+import os
+import threading
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -34,7 +36,7 @@ from ..graph.errors import (
 )
 from ..query.pattern import QueryGraphPattern
 from .faults import FaultInjector
-from .journal import DeltaJournal
+from .journal import DeltaJournal, parse_frames
 from .snapshots import (
     decode_snapshot,
     encode_snapshot,
@@ -44,9 +46,15 @@ from .snapshots import (
 
 __all__ = ["DurableEngine"]
 
-#: File names inside a durability directory.
+#: File names inside a durability directory.  The ``.1`` pair is the
+#: previous snapshot *generation*: the snapshot that was current before
+#: the last :meth:`DurableEngine.write_snapshot`, plus the journal segment
+#: covering the records between the two snapshots — enough to recover when
+#: the current snapshot turns out corrupt.
 JOURNAL_FILE = "journal.wal"
 SNAPSHOT_FILE = "snapshot.bin"
+PREV_JOURNAL_FILE = "journal.wal.1"
+PREV_SNAPSHOT_FILE = "snapshot.bin.1"
 
 
 class DurableEngine:
@@ -106,7 +114,14 @@ class DurableEngine:
         self.replayed_records = 0
         self.recovered = False
         self.truncated_tail = False
+        #: True when :meth:`recover` had to fall back to the previous
+        #: snapshot generation because the current one was corrupt.
+        self.snapshot_fallback = False
         self._closed = False
+        #: Serialises state-changing calls against close/snapshot — a
+        #: concurrent ``close()`` during an in-flight flush waits for the
+        #: flush instead of tearing the journal out from under it.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Recovery
@@ -129,15 +144,43 @@ class DurableEngine:
         the signature of a crash mid-write — is truncated silently;
         corruption before the tail raises
         :class:`~repro.graph.errors.JournalCorruptError`.
+
+        **Generation fallback.**  A corrupt current snapshot (or one lost
+        mid-rotation) does not refuse recovery outright: when the previous
+        generation (``snapshot.bin.1`` + its preserved journal segment
+        ``journal.wal.1``) is present, recovery loads it, replays the
+        preserved segment up to where the failed snapshot sat, then the
+        live journal tail — verifying sequence continuity at every step,
+        so a fallback either reconstructs the exact pre-crash state or
+        raises :class:`~repro.graph.errors.SnapshotCorruptError` rather
+        than silently serving a wrong one.
         """
         directory = Path(directory)
         snapshot_path = directory / SNAPSHOT_FILE
+        prev_snapshot_path = directory / PREV_SNAPSHOT_FILE
+        state: Optional[Dict[str, object]] = None
+        fallback = False
+        snapshot_error: Optional[SnapshotCorruptError] = None
         if snapshot_path.exists():
-            state = decode_snapshot(read_snapshot_file(snapshot_path))
-            if not isinstance(state, dict) or "engine" not in state:
+            try:
+                state = cls._load_snapshot_state(snapshot_path)
+            except SnapshotCorruptError as error:
+                snapshot_error = error
+        if state is None and snapshot_error is not None and not prev_snapshot_path.exists():
+            raise snapshot_error
+        if state is None and prev_snapshot_path.exists():
+            # Current snapshot corrupt — or missing while the previous
+            # generation exists (a crash between rotation and the new
+            # snapshot's rename): fall back one generation.
+            try:
+                state = cls._load_snapshot_state(prev_snapshot_path)
+            except SnapshotCorruptError as error:
                 raise SnapshotCorruptError(
-                    "durable snapshot does not contain an engine state record"
-                )
+                    "both snapshot generations are corrupt: "
+                    f"{snapshot_error or 'current missing'}; previous: {error}"
+                ) from error
+            fallback = True
+        if state is not None:
             engine = state["engine"]
             seq = int(state["seq"])
         elif engine_factory is not None:
@@ -157,32 +200,80 @@ class DurableEngine:
         )
         durable._seq = seq
         durable._snapshot_seq = seq
-        records, torn = durable.journal.replay(after_seq=seq)
+        if fallback:
+            durable._replay_previous_segment()
+        records, torn = durable.journal.replay(after_seq=durable._seq)
+        if fallback and records and records[0].seq != durable._seq + 1:
+            raise SnapshotCorruptError(
+                "generation fallback cannot bridge the journal: recovered "
+                f"state sits at seq {durable._seq} but the live journal "
+                f"resumes at seq {records[0].seq}"
+            )
         for record in records:
-            if record.op == "register":
-                engine.register(record.pattern())
-            else:  # "batch" / "backfill" both replay as a micro-batch
-                engine.on_batch(record.updates())
-            durable._seq = record.seq
-        durable.replayed_records = len(records)
+            durable._apply_record(record)
+        durable.replayed_records += len(records)
         durable.recovered = True
         durable.truncated_tail = torn
+        durable.snapshot_fallback = fallback
         return durable
+
+    @staticmethod
+    def _load_snapshot_state(path: Path) -> Dict[str, object]:
+        state = decode_snapshot(read_snapshot_file(path))
+        if not isinstance(state, dict) or "engine" not in state:
+            raise SnapshotCorruptError(
+                "durable snapshot does not contain an engine state record"
+            )
+        return state
+
+    def _apply_record(self, record) -> None:
+        if record.op == "register":
+            self.engine.register(record.pattern())
+        else:  # "batch" / "backfill" both replay as a micro-batch
+            self.engine.on_batch(record.updates())
+        self._seq = record.seq
+
+    def _replay_previous_segment(self) -> None:
+        """Replay the preserved journal segment of the failed generation.
+
+        The segment (``journal.wal.1``) holds exactly the records between
+        the previous snapshot and the corrupt one; records the previous
+        snapshot already covers are filtered by sequence, and any gap in
+        the remainder means the segment cannot reproduce the lost state —
+        a typed refusal instead of a silently-wrong recovery.
+        """
+        segment_path = self.directory / PREV_JOURNAL_FILE
+        if not segment_path.exists():
+            return
+        records, _good, _torn = parse_frames(segment_path.read_bytes())
+        for record in records:
+            if record.seq <= self._seq:
+                continue
+            if record.seq != self._seq + 1:
+                raise SnapshotCorruptError(
+                    "generation fallback found a gap in the preserved "
+                    f"journal segment: expected seq {self._seq + 1}, "
+                    f"found {record.seq}"
+                )
+            self._apply_record(record)
+            self.replayed_records += 1
 
     # ------------------------------------------------------------------
     # State-changing calls (journal first, apply second)
     # ------------------------------------------------------------------
     def register(self, pattern: QueryGraphPattern) -> None:
         """Durably index one continuous query (journalled before applying)."""
-        if pattern.query_id in self.engine.queries:
-            # Pre-check so a doomed registration is never journalled.
-            raise DuplicateQueryError(
-                f"query id already registered: {pattern.query_id}"
-            )
-        self._seq += 1
-        self.journal.append_register(self._seq, pattern)
-        self._apply(self.engine.register, pattern)
-        self._maybe_snapshot()
+        with self._lock:
+            self._require_open()
+            if pattern.query_id in self.engine.queries:
+                # Pre-check so a doomed registration is never journalled.
+                raise DuplicateQueryError(
+                    f"query id already registered: {pattern.query_id}"
+                )
+            self._seq += 1
+            self.journal.append_register(self._seq, pattern)
+            self._apply(self.engine.register, pattern)
+            self._maybe_snapshot()
 
     def register_all(self, patterns) -> None:
         """Durably index every pattern in ``patterns``."""
@@ -192,11 +283,19 @@ class DurableEngine:
     def on_batch(self, updates: Sequence[Update]) -> BatchReport:
         """Durably process a micro-batch (journalled before applying)."""
         updates = list(updates)
-        self._seq += 1
-        self.journal.append_batch(self._seq, updates)
-        report = self._apply(self.engine.on_batch, updates)
-        self._maybe_snapshot()
-        return report
+        with self._lock:
+            self._require_open()
+            self._seq += 1
+            self.journal.append_batch(self._seq, updates)
+            report = self._apply(self.engine.on_batch, updates)
+            self._maybe_snapshot()
+            return report
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise PersistenceError(
+                f"durable engine over {self.directory} is closed"
+            )
 
     def on_update(self, update: Update) -> BatchReport:
         """Durably process one stream update (a one-record micro-batch)."""
@@ -236,14 +335,36 @@ class DurableEngine:
         reset once the snapshot is safely in place — a crash in between
         merely replays records the snapshot already covers (idempotent for
         recovery, which filters by sequence number).
+
+        The snapshot being replaced is kept as the previous *generation*
+        (``snapshot.bin.1``) together with the journal segment covering
+        the records between the two snapshots (``journal.wal.1``) —
+        :meth:`recover` falls back to that pair when the current snapshot
+        turns out corrupt.  Rotation order is crash-safe: the segment is
+        preserved first (atomic write), then the old snapshot is renamed
+        aside, then the new one lands; a crash at any point leaves at
+        least one generation whose snapshot + journal records reach the
+        acknowledged sequence.
         """
-        if self.faults is not None:
-            self.faults.reached("durable.snapshot")
-        blob = encode_snapshot({"engine": self.engine, "seq": self._seq})
-        write_snapshot_file(self.directory / SNAPSHOT_FILE, blob)
-        self._snapshot_seq = self._seq
-        self.snapshots_written += 1
-        self.journal.reset()
+        with self._lock:
+            self._require_open()
+            if self.faults is not None:
+                self.faults.reached("durable.snapshot")
+            blob = encode_snapshot({"engine": self.engine, "seq": self._seq})
+            snapshot_path = self.directory / SNAPSHOT_FILE
+            if snapshot_path.exists():
+                # Preserve the outgoing generation: its journal segment
+                # (exactly the records since it was written — the journal
+                # was reset then), then the snapshot itself.
+                write_snapshot_file(
+                    self.directory / PREV_JOURNAL_FILE,
+                    self.journal.path.read_bytes(),
+                )
+                os.replace(snapshot_path, self.directory / PREV_SNAPSHOT_FILE)
+            write_snapshot_file(snapshot_path, blob)
+            self._snapshot_seq = self._seq
+            self.snapshots_written += 1
+            self.journal.reset()
 
     def _maybe_snapshot(self) -> None:
         if self.snapshot_every is None:
@@ -267,6 +388,10 @@ class DurableEngine:
             "replayed_records": self.replayed_records,
             "recovered": self.recovered,
             "truncated_tail": self.truncated_tail,
+            "snapshot_fallback": self.snapshot_fallback,
+            "previous_generation": (
+                self.directory / PREV_SNAPSHOT_FILE
+            ).exists(),
             "fsync": self.journal.fsync,
         }
         return info
@@ -280,14 +405,21 @@ class DurableEngine:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close the journal and the wrapped engine (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        self.journal.close()
-        close = getattr(self.engine, "close", None)
-        if close is not None:
-            close()
+        """Close the journal and the wrapped engine (idempotent).
+
+        Serialised against in-flight state changes: a close racing an
+        ``on_batch`` waits for the flush to land instead of tearing the
+        journal out from under it; later state changes raise a typed
+        :class:`~repro.graph.errors.PersistenceError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self.journal.close()
+            close = getattr(self.engine, "close", None)
+            if close is not None:
+                close()
 
     def __enter__(self) -> "DurableEngine":
         return self

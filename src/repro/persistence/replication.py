@@ -1,0 +1,423 @@
+"""Per-shard replication: replica workers, failover reads, promotion.
+
+A process-executor shard (see :mod:`repro.pubsub.sharding`) is a primary
+worker process driven over picklable command frames.  This module adds the
+replication substrate around that primary:
+
+* the **worker runtime** shared by primaries and replicas — the pool
+  initializer (:func:`worker_init`), the command dispatcher
+  (:func:`worker_call` / :func:`shard_op`) and the failure signature
+  (:data:`WORKER_FAILURES`) that distinguishes "the worker process died"
+  from an engine-level exception;
+* :class:`ReplicaSet` — ``N`` replica workers per shard that bootstrap
+  from the primary's snapshot and stay current by consuming its
+  acknowledged-ops log (the supervision command log *is* the replication
+  stream).  Replicas absorb read traffic (each read first drains the
+  replica to the primary's acknowledged sequence, so answers are
+  byte-identical to the primary's), a dead replica is detached and
+  re-seeded from a fresh primary snapshot, and a dead primary *promotes*
+  the freshest replica — the journal-seq comparison — so the shard keeps
+  serving without replaying its history.
+
+Replication is asynchronous but loss-free: an op is forwarded to replicas
+only **after** the primary acknowledged it, so a promoted replica (drained
+of its queued ops) is exactly the primary's acknowledged state, and the
+in-flight batch the dead primary never acknowledged is re-run exactly once
+by the proxy's supervision path — byte-identical to a never-crashed shard.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import ContinuousEngine
+from ..graph.elements import Update
+from ..graph.errors import EngineError, ShardUnavailableError
+
+__all__ = [
+    "ReplicaSet",
+    "WORKER_FAILURES",
+    "shard_op",
+    "silent_backfill",
+    "spawn_worker_pool",
+    "worker_call",
+    "worker_init",
+]
+
+#: Exceptions that mean "the worker process died" (vs. an engine error,
+#: which travels back through the future as the engine's own exception).
+WORKER_FAILURES = (BrokenProcessPool, BrokenPipeError, EOFError)
+
+#: A seed for a fresh replica: the primary's snapshot blob (or ``None``
+#: for a brand-new shard) and the acknowledged sequence it covers.
+SnapshotProvider = Callable[[], Tuple[Optional[bytes], int]]
+
+
+def silent_backfill(engine: ContinuousEngine, updates: Sequence[Update]) -> None:
+    """Replay ``updates`` into ``engine`` without touching its satisfied-set.
+
+    Registration backfill must not mark queries satisfied (a query only
+    enters the satisfied-set through a later notification), exactly like
+    the engines' own registration-time view recomputation.  Used by the
+    in-process shards and by the shard workers, primary and replica alike.
+    """
+    satisfied_before = engine.satisfied_queries()
+    engine.on_batch(updates)
+    engine._satisfied.clear()
+    engine._satisfied.update(satisfied_before)
+
+
+# ----------------------------------------------------------------------
+# Worker runtime (shared by primary and replica processes)
+# ----------------------------------------------------------------------
+#: The engine owned by this worker process (one engine per single-worker
+#: pool; every command of that shard is executed against it).
+_WORKER_ENGINE: Optional[ContinuousEngine] = None
+
+
+def worker_init(
+    engine_name: str, engine_kwargs: Dict[str, object], injective: bool
+) -> None:
+    """Pool initializer: build this worker's engine inside the process.
+
+    Workers ignore SIGINT/SIGTERM: a terminal signal aimed at the serving
+    process (or its whole process group — a ^C) must not kill the shards
+    out from under the parent's graceful shutdown; the parent ends workers
+    through the pool's shutdown path (and supervised respawn / promotion
+    handles any worker that dies anyway).
+    """
+    global _WORKER_ENGINE
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    from ..engines import create_engine
+
+    _WORKER_ENGINE = create_engine(engine_name, injective=injective, **engine_kwargs)
+
+
+def shard_op(engine: ContinuousEngine, op: str, args: Tuple) -> object:
+    """Dispatch one shard command against ``engine`` (any address space).
+
+    Shared by the worker processes (:func:`worker_call`) and by the
+    proxy's graceful-degradation mode, which runs the same command frames
+    against an in-process engine after repeated worker failures — one
+    dispatch, identical semantics on both sides of the process boundary.
+    """
+    if op == "batch":
+        (updates,) = args
+        start = time.perf_counter()
+        if len(updates) == 1:
+            report = engine.on_update(updates[0])
+        else:
+            report = engine.on_batch(updates)
+        return report, engine.satisfied_queries(), time.perf_counter() - start
+    if op == "register":
+        (pattern,) = args
+        engine.register(pattern)
+        return None
+    if op == "backfill":
+        (updates,) = args
+        silent_backfill(engine, updates)
+        return None
+    if op == "matches_of":
+        return engine.matches_of(args[0])
+    if op == "has_matches":
+        return engine.has_matches(args[0])
+    if op == "satisfied":
+        return engine.satisfied_queries()
+    if op == "describe":
+        return engine.describe()
+    if op == "snapshot":
+        return engine.snapshot()
+    raise EngineError(f"unknown process-shard command: {op!r}")  # pragma: no cover
+
+
+def worker_call(op: str, args: Tuple) -> object:
+    """Execute one picklable command frame against the worker's engine.
+
+    The framing is deliberately narrow: operands are the repository's
+    picklable value types (:class:`~repro.graph.elements.Update`,
+    :class:`~repro.query.pattern.QueryGraphPattern`, query-id strings,
+    snapshot blobs) and replies are plain data (a
+    :class:`~repro.core.engine.BatchReport` with its wall-clock seconds,
+    binding dictionaries, frozensets, description dictionaries) — never
+    live relations or views, which stay inside the worker.
+
+    Two commands exist purely for supervision and replication:
+    ``snapshot`` ships the worker engine's full state to the parent as a
+    checksummed blob, and ``restore`` rebuilds the engine from such a blob
+    inside a freshly spawned worker (a respawned primary or a replica
+    bootstrapping from the primary's state).
+    """
+    global _WORKER_ENGINE
+    if op == "restore":
+        (blob,) = args
+        _WORKER_ENGINE = ContinuousEngine.restore(blob)
+        return None
+    if op == "pid":
+        return os.getpid()
+    engine = _WORKER_ENGINE
+    if engine is None:
+        raise ShardUnavailableError("process shard used before initialization")
+    return shard_op(engine, op, args)
+
+
+def spawn_worker_pool(
+    engine_name: str, engine_kwargs: Dict[str, object], injective: bool
+) -> ProcessPoolExecutor:
+    """A single-worker pool whose process hosts one shard engine."""
+    return ProcessPoolExecutor(
+        max_workers=1,
+        initializer=worker_init,
+        initargs=(engine_name, dict(engine_kwargs), injective),
+    )
+
+
+# ----------------------------------------------------------------------
+# Replica sets
+# ----------------------------------------------------------------------
+class _Replica:
+    """One replica worker: its pool, pid, and replication progress."""
+
+    __slots__ = ("pool", "pid", "applied_seq", "pending")
+
+    def __init__(self, pool: ProcessPoolExecutor, pid: int, applied_seq: int) -> None:
+        self.pool = pool
+        self.pid = pid
+        #: Sequence number of the last op this replica is known to have
+        #: applied (its position in the primary's acknowledged-ops stream).
+        self.applied_seq = applied_seq
+        #: Forwarded-but-not-yet-acknowledged ops: (seq, future), FIFO.
+        self.pending: Deque[Tuple[int, Future]] = deque()
+
+
+class ReplicaSet:
+    """``N`` replica workers tailing one primary's acknowledged-ops log.
+
+    The owner (a ``_ProcessShardProxy``) calls :meth:`forward` after every
+    op the primary acknowledged — the op is submitted asynchronously to
+    every replica's single-worker pool, whose FIFO queue preserves the
+    log order.  Reads drain the chosen replica to the primary's
+    acknowledged sequence before serving, so a replica answer is
+    byte-identical to the primary's.  Failure handling:
+
+    * a replica that dies (submit/ack raises one of
+      :data:`WORKER_FAILURES`) is *detached*; :meth:`replenish` re-seeds a
+      replacement from a fresh primary snapshot pulled through the
+      ``snapshot_provider`` callback;
+    * a dead **primary** calls :meth:`promote`: every surviving replica is
+      drained (safe — only primary-acknowledged ops were ever forwarded)
+      and the one with the highest applied sequence is detached and handed
+      back to become the new primary.
+    """
+
+    def __init__(
+        self,
+        engine_name: str,
+        engine_kwargs: Dict[str, object],
+        injective: bool,
+        target: int,
+        *,
+        snapshot_provider: SnapshotProvider,
+    ) -> None:
+        if target < 1:
+            raise EngineError("a replica set needs at least one replica")
+        self.name = engine_name
+        self._engine_kwargs = dict(engine_kwargs)
+        self._injective = injective
+        self.target = target
+        self.snapshot_provider = snapshot_provider
+        self.replicas: List[_Replica] = []
+        self._rr = 0
+        self.reads_served = 0
+        self.read_failovers = 0
+        self.reseeds = 0
+        self.deaths = 0
+        self._closed = False
+        self.replenish(initial=True)
+
+    # -- membership ------------------------------------------------------
+    def _spawn(self, blob: Optional[bytes], seq: int) -> Optional[_Replica]:
+        pool = spawn_worker_pool(self.name, self._engine_kwargs, self._injective)
+        try:
+            if blob is not None:
+                pool.submit(worker_call, "restore", (blob,)).result()
+            pid = pool.submit(worker_call, "pid", ()).result()
+        except WORKER_FAILURES:
+            pool.shutdown(wait=False)
+            return None
+        return _Replica(pool, pid, seq)
+
+    def replenish(self, initial: bool = False) -> int:
+        """Bring the set back up to ``target`` replicas.
+
+        Newcomers bootstrap from a primary snapshot pulled once through
+        ``snapshot_provider`` (their replication position is the sequence
+        that snapshot covers).  A primary too sick to provide a seed ends
+        the attempt quietly — the owner's supervision path deals with the
+        primary, and the next interaction replenishes.  Returns the number
+        of replicas spawned.
+        """
+        if self._closed or len(self.replicas) >= self.target:
+            return 0
+        try:
+            blob, seq = self.snapshot_provider()
+        except WORKER_FAILURES:
+            return 0
+        spawned = 0
+        while len(self.replicas) < self.target:
+            replica = self._spawn(blob, seq)
+            if replica is None:
+                break
+            self.replicas.append(replica)
+            spawned += 1
+            if not initial:
+                self.reseeds += 1
+        return spawned
+
+    def _detach(self, replica: _Replica) -> None:
+        if replica in self.replicas:
+            self.replicas.remove(replica)
+            self.deaths += 1
+        replica.pool.shutdown(wait=False)
+
+    # -- the replication stream ------------------------------------------
+    def forward(self, seq: int, op: str, args: Tuple) -> None:
+        """Ship one primary-acknowledged op to every live replica (async)."""
+        if self._closed:
+            return
+        for replica in list(self.replicas):
+            try:
+                future = replica.pool.submit(worker_call, op, args)
+            except Exception:
+                self._detach(replica)
+                continue
+            replica.pending.append((seq, future))
+            self._ack(replica)
+
+    def _ack(self, replica: _Replica) -> None:
+        """Advance ``applied_seq`` over already-finished forwards (no wait)."""
+        while replica.pending and replica.pending[0][1].done():
+            seq, future = replica.pending.popleft()
+            if future.exception() is not None:
+                self._detach(replica)
+                return
+            replica.applied_seq = seq
+
+    def _drain(self, replica: _Replica) -> bool:
+        """Block until the replica applied every forwarded op (False: died)."""
+        while replica.pending:
+            seq, future = replica.pending.popleft()
+            try:
+                future.result()
+            except Exception:
+                self._detach(replica)
+                return False
+            replica.applied_seq = seq
+        return True
+
+    # -- reads -----------------------------------------------------------
+    def read(self, op: str, args: Tuple) -> Tuple[bool, object]:
+        """Serve one read from a replica: ``(served, result)``.
+
+        Round-robin over the live replicas; the chosen one is drained to
+        the primary's acknowledged sequence first, so the answer is
+        byte-identical to the primary's.  A replica that dies mid-read is
+        detached and the read fails over to the next; ``(False, None)``
+        means no replica could serve and the caller should fall back to
+        the primary (and :meth:`replenish`).
+        """
+        while self.replicas and not self._closed:
+            replica = self.replicas[self._rr % len(self.replicas)]
+            self._rr += 1
+            if not self._drain(replica):
+                self.read_failovers += 1
+                continue
+            try:
+                result = replica.pool.submit(worker_call, op, args).result()
+            except WORKER_FAILURES:
+                self._detach(replica)
+                self.read_failovers += 1
+                continue
+            self.reads_served += 1
+            return True, result
+        return False, None
+
+    # -- promotion -------------------------------------------------------
+    def promote(self) -> Optional[_Replica]:
+        """Detach and return the freshest fully-drained replica.
+
+        Called when the primary died.  Every surviving replica is drained
+        — the ops queued in its pool were acknowledged by the primary
+        before being forwarded, so applying them is always safe — and the
+        one with the highest applied sequence wins the journal-seq
+        comparison.  Replicas that die during the drain are detached.
+        Returns ``None`` when no replica survives (the owner falls back to
+        respawn-from-recovery-source).
+        """
+        best: Optional[_Replica] = None
+        for replica in list(self.replicas):
+            if not self._drain(replica):
+                continue
+            if best is None or replica.applied_seq > best.applied_seq:
+                best = replica
+        if best is not None:
+            self.replicas.remove(best)
+        return best
+
+    # -- introspection and fault injection -------------------------------
+    @property
+    def attached(self) -> int:
+        """Number of live replicas currently attached."""
+        return len(self.replicas)
+
+    def lags(self, primary_seq: int) -> List[int]:
+        """Per-replica journal-seq delta behind the primary (no wait)."""
+        for replica in list(self.replicas):
+            self._ack(replica)
+        return [
+            max(0, primary_seq - replica.applied_seq) for replica in self.replicas
+        ]
+
+    def statistics(self, primary_seq: int) -> Dict[str, object]:
+        """Counters and lag for reporting (cheap: no worker IPC)."""
+        return {
+            "target": self.target,
+            "attached": self.attached,
+            "reads_served": self.reads_served,
+            "read_failovers": self.read_failovers,
+            "reseeds": self.reseeds,
+            "deaths": self.deaths,
+            "lag": self.lags(primary_seq),
+        }
+
+    def pids(self) -> List[int]:
+        """OS pids of the live replica workers."""
+        return [replica.pid for replica in self.replicas]
+
+    def kill(self, index: int = 0) -> None:
+        """SIGKILL one replica worker (fault injection; tests, tooling)."""
+        if not self.replicas:
+            raise ShardUnavailableError("no replica attached to kill")
+        os.kill(self.replicas[index % len(self.replicas)].pid, signal.SIGKILL)
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Shut every replica pool down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for replica in self.replicas:
+            replica.pool.shutdown(wait=False)
+        self.replicas.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicaSet({self.name!r}, target={self.target}, "
+            f"attached={self.attached})"
+        )

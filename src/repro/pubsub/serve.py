@@ -40,6 +40,11 @@ class _ShutdownRequested(Exception):
         self.reason = signal.Signals(signum).name
 
 
+#: Set by the SIGHUP handler, consumed at the next batch boundary of the
+#: replay loop: the operator's request for a zero-loss rolling restart.
+_SIGHUP_PENDING = {"flag": False}
+
+
 def parse_subscribe_spec(spec: str) -> Tuple[int, Optional[int]]:
     """Parse ``"k"`` or ``"k-of-n"`` into ``(k, n_or_None)``."""
     parts = spec.split("-of-")
@@ -89,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "thread (concurrent shard tasks on a thread pool), or "
                         "process (one worker process per shard, true "
                         "parallelism; default serial)")
+    parser.add_argument("--replicas", type=int, default=0, metavar="N",
+                        help="process executor only: attach N replica workers "
+                        "per shard — they absorb matches_of/describe reads, "
+                        "stand in for a SIGKILLed primary via promotion, and "
+                        "make SIGHUP rolling restarts invisible (default 0)")
     parser.add_argument("--subscribe", type=parse_subscribe_spec, default=(5, None),
                         metavar="K[-of-N]",
                         help="subscribe to K queries spread over the first N "
@@ -173,6 +183,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.shards,
             assignment=args.assignment,
             executor=args.executor,
+            replicas=args.replicas,
             journal_dir=args.journal_dir,
             snapshot_every=args.snapshot_every,
             journal_fsync=not args.no_fsync,
@@ -203,6 +214,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _install_signal_handlers():
     """Route SIGINT/SIGTERM into :class:`_ShutdownRequested` for the replay.
 
+    SIGHUP is different: it does not interrupt anything — the handler only
+    flags a pending rolling restart, which the replay loop performs at the
+    next batch boundary (where no delta frame is in flight).
+
     Returns the previous handlers for :func:`_restore_signal_handlers` (so
     in-process callers — the tests — leave no global state behind).  A
     no-op off the main thread, where ``signal.signal`` is unavailable.
@@ -210,10 +225,18 @@ def _install_signal_handlers():
     def _handler(signum, frame):
         raise _ShutdownRequested(signum)
 
+    def _hup_handler(signum, frame):
+        _SIGHUP_PENDING["flag"] = True
+
     previous = {}
     for signum in (signal.SIGINT, signal.SIGTERM):
         try:
             previous[signum] = signal.signal(signum, _handler)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    if hasattr(signal, "SIGHUP"):
+        try:
+            previous[signal.SIGHUP] = signal.signal(signal.SIGHUP, _hup_handler)
         except ValueError:  # pragma: no cover - non-main thread
             pass
     return previous
@@ -225,6 +248,79 @@ def _restore_signal_handlers(previous) -> None:
             signal.signal(signum, handler)
         except ValueError:  # pragma: no cover - non-main thread
             pass
+
+
+def _replication_health(engine) -> Optional[dict]:
+    """Aggregate proxy-side failover counters (``None``: not a process group).
+
+    Reads only parent-side state — promotions, respawns, degradations,
+    replica reseeds/deaths and the journal-seq lag of every replica — so
+    sampling it per tick costs no worker round-trips.
+    """
+    statistics = getattr(engine, "replication_statistics", None)
+    if statistics is None:
+        return None
+    per_shard = statistics()
+    if not per_shard:
+        return None
+    replica_lag: List[List[int]] = []
+    reseeds = deaths = 0
+    for info in per_shard:
+        replicas = info.get("replicas")
+        replica_lag.append(list(replicas["lag"]) if replicas else [])
+        if replicas:
+            reseeds += replicas["reseeds"]
+            deaths += replicas["deaths"]
+    return {
+        "promotions": sum(info["promotions"] for info in per_shard),
+        "respawns": sum(info["respawns"] for info in per_shard),
+        "restarts": sum(info["restarts"] for info in per_shard),
+        "degraded_shards": sum(1 for info in per_shard if info["degraded"]),
+        "replica_reseeds": reseeds,
+        "replica_deaths": deaths,
+        "replica_lag": replica_lag,
+    }
+
+
+def _health_key(health: Optional[dict]):
+    """The failure counters of a health sample.  Lag is excluded (it
+    breathes benignly between ticks) and so are rolling-restart counts
+    (operator-initiated, reported by their own event line) — neither may
+    spam failover event lines."""
+    if health is None:
+        return None
+    return (
+        health["promotions"],
+        health["respawns"],
+        health["degraded_shards"],
+        health["replica_reseeds"],
+        health["replica_deaths"],
+    )
+
+
+def _rolling_restart(args, engine, tick: int) -> int:
+    """Perform the SIGHUP-requested rolling restart (returns 1 when done)."""
+    restart = getattr(engine, "rolling_restart", None)
+    if restart is None:
+        if not args.quiet:
+            print(
+                json.dumps(
+                    {"event": "rolling-restart-unsupported", "tick": tick},
+                    sort_keys=True,
+                ),
+                file=sys.stderr,
+            )
+        return 0
+    report = restart()
+    if not args.quiet:
+        print(
+            json.dumps(
+                dict(report, event="rolling-restart", tick=tick),
+                sort_keys=True,
+            ),
+            file=sys.stderr,
+        )
+    return 1
 
 
 def _serve(args, engine, workload, stream) -> int:
@@ -244,23 +340,46 @@ def _serve(args, engine, workload, stream) -> int:
     printed = 0
     delivered = changes = 0
     consumed = 0
+    tick = 0
+    rolling_restarts = 0
     shutdown: Optional[str] = None
     out = sys.stdout
+    # Failover visibility: proxy-side replication counters are sampled
+    # after every tick (cheap — no worker IPC) and any change is reported
+    # to stderr as one event line, so operators see promotions, respawns
+    # and reseeds as they happen rather than only in the final summary.
+    last_health_key = _health_key(_replication_health(engine))
     replay_start = time.perf_counter()
     try:
         for start in range(0, len(updates), args.batch_size):
+            if _SIGHUP_PENDING["flag"]:
+                _SIGHUP_PENDING["flag"] = False
+                rolling_restarts += _rolling_restart(args, engine, tick)
             chunk = updates[start : start + args.batch_size]
             if args.batch_size == 1:
                 broker.on_update(chunk[0])
             else:
                 broker.on_batch(chunk)
             consumed += len(chunk)
+            tick += 1
             for matched in subscription.drain():
                 delivered += 1
                 changes += matched.num_changes
                 if args.max_deltas is None or printed < args.max_deltas:
                     print(json.dumps(matched.as_dict(), sort_keys=True), file=out)
                     printed += 1
+            health = _replication_health(engine)
+            health_key = _health_key(health)
+            if health_key != last_health_key:
+                if not args.quiet and health is not None:
+                    print(
+                        json.dumps(
+                            dict(health, event="failover", tick=tick),
+                            sort_keys=True,
+                        ),
+                        file=sys.stderr,
+                    )
+                last_health_key = health_key
     except _ShutdownRequested as stop:
         # Graceful shutdown: stop the replay where it is, still flush the
         # stderr summary below, let main() close the shards, exit 0.
@@ -307,6 +426,11 @@ def _serve(args, engine, workload, stream) -> int:
                 summary["shard_respawns"] = description["shard_respawns"]
                 summary["shard_replayed_ops"] = description["shard_replayed_ops"]
                 summary["degraded_shards"] = description["degraded_shards"]
+            health = _replication_health(engine)
+            if health is not None:
+                summary["replication"] = dict(
+                    health, rolling_restarts=rolling_restarts
+                )
             summary["shards"] = [
                 {
                     "engine": stats.get("engine"),

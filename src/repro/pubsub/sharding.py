@@ -50,20 +50,29 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 import zlib
 from collections import Counter
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..core.engine import BatchReport, ContinuousEngine, MaintainedAnswerSource
 from ..graph.elements import Edge, Update, UpdateKind
-from ..graph.errors import EngineError, ShardUnavailableError
+from ..graph.errors import EngineError, PersistenceError, ShardUnavailableError
+from ..persistence.replication import (
+    WORKER_FAILURES,
+    ReplicaSet,
+    shard_op,
+    silent_backfill,
+    spawn_worker_pool,
+    worker_call,
+    worker_init,
+)
 from ..query.pattern import QueryGraphPattern
 from ..query.terms import EdgeKey, candidate_keys_for_edge
 
-__all__ = ["ShardedEngineGroup", "SHARD_EXECUTORS"]
+__all__ = ["ShardedEngineGroup", "SHARD_EXECUTORS", "silent_backfill"]
 
 #: A zero-argument engine factory (one call per shard).
 EngineFactory = Callable[[], ContinuousEngine]
@@ -72,114 +81,17 @@ EngineFactory = Callable[[], ContinuousEngine]
 SHARD_EXECUTORS = ("serial", "thread", "process")
 
 
-def silent_backfill(engine: ContinuousEngine, updates: Sequence[Update]) -> None:
-    """Replay ``updates`` into ``engine`` without touching its satisfied-set.
-
-    Registration backfill must not mark queries satisfied (a query only
-    enters the satisfied-set through a later notification), exactly like
-    the engines' own registration-time view recomputation.  Used by the
-    in-process shards and by the process-shard workers.
-    """
-    satisfied_before = engine.satisfied_queries()
-    engine.on_batch(updates)
-    engine._satisfied.clear()
-    engine._satisfied.update(satisfied_before)
-
-
 # ----------------------------------------------------------------------
-# Process-executor shard workers
+# Process-executor worker runtime (shared with the replication layer)
 # ----------------------------------------------------------------------
-#: The engine owned by this worker process (one engine per single-worker
-#: pool; every command of that shard is executed against it).
-_WORKER_ENGINE: Optional[ContinuousEngine] = None
-
-
-def _process_shard_init(engine_name: str, engine_kwargs: Dict[str, object], injective: bool) -> None:
-    """Pool initializer: build this shard's engine inside the worker.
-
-    Workers ignore SIGINT/SIGTERM: a terminal signal aimed at the serving
-    process (or its whole process group — a ^C) must not kill the shards
-    out from under the parent's graceful shutdown; the parent ends workers
-    through the pool's shutdown path (and supervised respawn handles any
-    worker that dies anyway).
-    """
-    global _WORKER_ENGINE
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
-    signal.signal(signal.SIGTERM, signal.SIG_IGN)
-    from ..engines import create_engine
-
-    _WORKER_ENGINE = create_engine(engine_name, injective=injective, **engine_kwargs)
-
-
-def _shard_op(engine: ContinuousEngine, op: str, args: Tuple) -> object:
-    """Dispatch one shard command against ``engine`` (any address space).
-
-    Shared by the worker process (:func:`_process_shard_call`) and by the
-    proxy's graceful-degradation mode, which runs the same command frames
-    against an in-process engine after repeated worker failures — one
-    dispatch, identical semantics on both sides of the process boundary.
-    """
-    if op == "batch":
-        (updates,) = args
-        start = time.perf_counter()
-        if len(updates) == 1:
-            report = engine.on_update(updates[0])
-        else:
-            report = engine.on_batch(updates)
-        return report, engine.satisfied_queries(), time.perf_counter() - start
-    if op == "register":
-        (pattern,) = args
-        engine.register(pattern)
-        return None
-    if op == "backfill":
-        (updates,) = args
-        silent_backfill(engine, updates)
-        return None
-    if op == "matches_of":
-        return engine.matches_of(args[0])
-    if op == "has_matches":
-        return engine.has_matches(args[0])
-    if op == "satisfied":
-        return engine.satisfied_queries()
-    if op == "describe":
-        return engine.describe()
-    if op == "snapshot":
-        return engine.snapshot()
-    raise EngineError(f"unknown process-shard command: {op!r}")  # pragma: no cover
-
-
-def _process_shard_call(op: str, args: Tuple) -> object:
-    """Execute one picklable command frame against the worker's engine.
-
-    The framing is deliberately narrow: operands are the repository's
-    picklable value types (:class:`~repro.graph.elements.Update`,
-    :class:`~repro.query.pattern.QueryGraphPattern`, query-id strings,
-    snapshot blobs) and replies are plain data (a
-    :class:`~repro.core.engine.BatchReport` with its wall-clock seconds,
-    binding dictionaries, frozensets, description dictionaries) — never
-    live relations or views, which stay inside the worker.
-
-    Two commands exist purely for supervision: ``snapshot`` ships the
-    worker engine's full state to the parent as a checksummed blob, and
-    ``restore`` rebuilds the engine from such a blob inside a freshly
-    respawned worker.
-    """
-    global _WORKER_ENGINE
-    if op == "restore":
-        (blob,) = args
-        _WORKER_ENGINE = ContinuousEngine.restore(blob)
-        return None
-    if op == "pid":
-        return os.getpid()
-    engine = _WORKER_ENGINE
-    if engine is None:
-        raise ShardUnavailableError("process shard used before initialization")
-    return _shard_op(engine, op, args)
-
-
-#: Exceptions that mean "the worker process died" (vs. an engine error,
-#: which travels back through the future as the engine's own exception).
-_WORKER_FAILURES = (BrokenProcessPool, BrokenPipeError, EOFError)
+# The worker-side runtime — pool initializer, command dispatcher, failure
+# signature — lives in :mod:`repro.persistence.replication` so primaries
+# and replicas run the exact same code; the historical names are kept
+# here because this module is the substrate's primary consumer.
+_process_shard_init = worker_init
+_process_shard_call = worker_call
+_shard_op = shard_op
+_WORKER_FAILURES = WORKER_FAILURES
 
 
 class _ProcessShardProxy:
@@ -207,6 +119,18 @@ class _ProcessShardProxy:
     rebuilds the engine in-process from the same recovery source and runs
     all further commands serially in the parent — slower, but alive.
 
+    **Replication.**  With ``replicas > 0`` the proxy additionally owns a
+    :class:`~repro.persistence.replication.ReplicaSet`: replica workers
+    bootstrapped from the primary's snapshot that tail its
+    acknowledged-ops log.  Reads (``matches_of``, ``has_matches``,
+    ``satisfied_queries``, ``describe``) round-robin across the replicas
+    (drained to the acknowledged sequence first, so answers stay
+    byte-identical), failing over to the primary when no replica can
+    serve.  A dead primary *promotes* the freshest replica instead of
+    respawning from the recovery source — the promoted worker already
+    holds every acknowledged op, so only the in-flight batch is re-run
+    (exactly once, by the same supervision path as before).
+
     ``answer_delta_source`` always returns ``None``: the maintained answer
     relation lives in the worker's address space, so delta consumers fall
     back to exact ``matches_of`` snapshot diffs over the command channel.
@@ -220,6 +144,8 @@ class _ProcessShardProxy:
         *,
         snapshot_every: Optional[int] = 32,
         max_respawns: int = 3,
+        replicas: int = 0,
+        respawn_window: Optional[float] = 60.0,
     ) -> None:
         self.name = engine_name
         self._engine_kwargs = dict(engine_kwargs)
@@ -229,24 +155,51 @@ class _ProcessShardProxy:
         #: the command log then spans the shard's whole life).
         self.snapshot_every = snapshot_every
         self.max_respawns = max_respawns
+        #: Sliding window (seconds) over which worker deaths count against
+        #: ``max_respawns`` — only death *bursts* degrade the shard.
+        #: ``None`` restores the lifetime cap.
+        self.respawn_window = respawn_window
         self.respawns = 0
+        self.promotions = 0
+        self.restarts = 0
         self.replayed_ops = 0
         self.degraded = False
+        self._respawn_times: List[float] = []
         #: In-process engine once degraded (None while a worker serves).
         self._local: Optional[ContinuousEngine] = None
-        #: Last worker-state snapshot blob pulled from the worker.
+        #: Last worker-state snapshot blob pulled from the worker, and the
+        #: acknowledged sequence it covers.
         self._snapshot_blob: Optional[bytes] = None
-        #: Acknowledged state-changing commands since that snapshot.
-        self._ops_log: List[Tuple[str, Tuple]] = []
+        self._snapshot_seq = 0
+        #: Monotonic sequence of acknowledged state-changing commands —
+        #: the shard's replication/journal position.
+        self._seq = 0
+        #: Acknowledged state-changing commands since that snapshot, as
+        #: ``(seq, op, args)`` — the recovery source tail and the
+        #: replication stream.
+        self._ops_log: List[Tuple[int, str, Tuple]] = []
         self._closed = False
         self._pool = self._spawn_pool()
+        self.replica_target = max(0, int(replicas))
+        self._replicas: Optional[ReplicaSet] = None
+        if self.replica_target:
+            self._replicas = ReplicaSet(
+                engine_name,
+                engine_kwargs,
+                injective,
+                self.replica_target,
+                snapshot_provider=self._replica_seed,
+            )
 
     def _spawn_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=1,
-            initializer=_process_shard_init,
-            initargs=(self.name, dict(self._engine_kwargs), self._injective),
-        )
+        return spawn_worker_pool(self.name, self._engine_kwargs, self._injective)
+
+    def _replica_seed(self) -> Tuple[Optional[bytes], int]:
+        """Seed for a new replica: the primary's snapshot at its sequence."""
+        if self._local is not None:
+            return self._local.snapshot(), self._seq
+        blob = self._pool.submit(worker_call, "snapshot", ()).result()
+        return blob, self._seq
 
     # -- command channel (supervised) ------------------------------------
     def _execute(self, op: str, args: Tuple):
@@ -266,12 +219,25 @@ class _ProcessShardProxy:
     def _call(self, op: str, *args):
         return self._execute(op, args)
 
+    def _record_op(self, op: str, args: Tuple) -> None:
+        """Log one acknowledged state-changing command and replicate it.
+
+        Ops reach the replicas strictly *after* the primary acknowledged
+        them — the invariant promotion relies on: a drained replica equals
+        the primary's acknowledged state, never more.
+        """
+        self._seq += 1
+        self._ops_log.append((self._seq, op, args))
+        if self._replicas is not None:
+            self._replicas.forward(self._seq, op, args)
+            self._replicas.replenish()
+        self._maybe_worker_snapshot()
+
     def _mutate(self, op: str, *args):
         """Run one state-changing command and log it once acknowledged."""
         result = self._execute(op, args)
         if self._local is None:
-            self._ops_log.append((op, args))
-            self._maybe_worker_snapshot()
+            self._record_op(op, args)
         return result
 
     def start_batch(self, updates: Sequence[Update]) -> Future:
@@ -316,20 +282,35 @@ class _ProcessShardProxy:
             self._recover()
             result = self._execute("batch", (list(updates),))
         if self._local is None:
-            self._ops_log.append(("batch", (list(updates),)))
-            self._maybe_worker_snapshot()
+            self._record_op("batch", (list(updates),))
         return result
 
     # -- supervision -----------------------------------------------------
     def _recover(self) -> None:
-        """Respawn + restore the worker (bounded backoff), else degrade."""
+        """Promote a replica, else respawn + restore (bounded backoff),
+        else degrade."""
         self._pool.shutdown(wait=False)
-        while self.respawns < self.max_respawns:
+        if self._replicas is not None and self._try_promote():
+            return
+        while True:
+            if self.respawn_window is not None:
+                # Sliding-window budget: deaths older than the window no
+                # longer count, so a long-lived deployment only degrades
+                # on a death *burst*, not on slow attrition.
+                now = time.monotonic()
+                self._respawn_times = [
+                    stamp
+                    for stamp in self._respawn_times
+                    if now - stamp < self.respawn_window
+                ]
+            if len(self._respawn_times) >= self.max_respawns:
+                break
             self.respawns += 1
+            self._respawn_times.append(time.monotonic())
             # 50ms, 100ms, 200ms, ... capped — enough to ride out a
             # transient (OOM-killer sweep, cgroup hiccup) without turning
             # a hard failure into a long hang.
-            time.sleep(min(1.0, 0.05 * (2 ** (self.respawns - 1))))
+            time.sleep(min(1.0, 0.05 * (2 ** (len(self._respawn_times) - 1))))
             try:
                 self._pool = self._spawn_pool()
                 self._restore_worker()
@@ -338,13 +319,54 @@ class _ProcessShardProxy:
                 self._pool.shutdown(wait=False)
         self._degrade()
 
+    def _try_promote(self) -> bool:
+        """Fail the dead primary over to the freshest drained replica."""
+        while True:
+            promoted = self._replicas.promote()
+            if promoted is None:
+                return False
+            behind = [
+                entry for entry in self._ops_log if entry[0] > promoted.applied_seq
+            ]
+            if len(behind) != self._seq - promoted.applied_seq:
+                # The ops bridging the replica's position to the current
+                # sequence are no longer in the log (cleared by a worker
+                # snapshot the replica predates) — it cannot be brought
+                # current; try the next-freshest one.
+                promoted.pool.shutdown(wait=False)
+                continue
+            try:
+                for _seq, op, args in behind:
+                    promoted.pool.submit(worker_call, op, args).result()
+            except _WORKER_FAILURES:
+                promoted.pool.shutdown(wait=False)
+                continue
+            self._pool = promoted.pool
+            self.promotions += 1
+            self.replayed_ops += len(behind)
+            self._refresh_recovery_source()
+            self._replicas.replenish()
+            return True
+
+    def _refresh_recovery_source(self) -> None:
+        """Re-anchor the recovery source on the current primary's state."""
+        try:
+            blob = self._pool.submit(worker_call, "snapshot", ()).result()
+        except _WORKER_FAILURES:
+            # Primary died during the pull: the old source still covers
+            # every acknowledged op; the next command recovers again.
+            return
+        self._snapshot_blob = blob
+        self._snapshot_seq = self._seq
+        self._ops_log.clear()
+
     def _restore_worker(self) -> None:
         """Rebuild a fresh worker's engine from snapshot + command log."""
         if self._snapshot_blob is not None:
             self._pool.submit(
                 _process_shard_call, "restore", (self._snapshot_blob,)
             ).result()
-        for op, args in self._ops_log:
+        for _seq, op, args in self._ops_log:
             self._pool.submit(_process_shard_call, op, args).result()
         self.replayed_ops += len(self._ops_log)
 
@@ -358,12 +380,17 @@ class _ProcessShardProxy:
             engine = create_engine(
                 self.name, injective=self._injective, **self._engine_kwargs
             )
-        for op, args in self._ops_log:
+        for _seq, op, args in self._ops_log:
             _shard_op(engine, op, args)
         self.replayed_ops += len(self._ops_log)
         self._ops_log.clear()
         self._local = engine
         self.degraded = True
+        if self._replicas is not None:
+            # Degraded shards run in the parent; replicas of a worker that
+            # no longer exists serve no reads.
+            self._replicas.close()
+            self._replicas = None
 
     def _maybe_worker_snapshot(self) -> None:
         if self.snapshot_every is None or len(self._ops_log) < self.snapshot_every:
@@ -375,7 +402,43 @@ class _ProcessShardProxy:
             # source intact; the next command notices and recovers.
             return
         self._snapshot_blob = blob
+        self._snapshot_seq = self._seq
         self._ops_log.clear()
+
+    def restart(self) -> float:
+        """One rolling-restart step: drain, snapshot, respawn, tail-replay,
+        resume.  Returns the pause in seconds.
+
+        The synchronous snapshot pull *is* the drain (the command channel
+        is FIFO), and because it runs between batches the snapshot sits
+        exactly at the acknowledged sequence — the replay tail is empty by
+        construction and no ``MatchDelta`` frame is in flight.  The
+        replacement worker is seeded *before* the old one is shut down, so
+        a failed restart leaves the shard serving on the old worker.
+        """
+        start = time.perf_counter()
+        blob = self._execute("snapshot", ())
+        if self._local is not None:
+            self._local = ContinuousEngine.restore(blob)
+            self.restarts += 1
+            return time.perf_counter() - start
+        pool = self._spawn_pool()
+        try:
+            pool.submit(worker_call, "restore", (blob,)).result()
+        except _WORKER_FAILURES as error:
+            pool.shutdown(wait=False)
+            raise PersistenceError(
+                f"rolling restart of shard {self.name!r} could not seed the "
+                "replacement worker; the old worker kept serving"
+            ) from error
+        old_pool = self._pool
+        self._pool = pool
+        old_pool.shutdown(wait=True)
+        self._snapshot_blob = blob
+        self._snapshot_seq = self._seq
+        self._ops_log.clear()
+        self.restarts += 1
+        return time.perf_counter() - start
 
     def worker_pid(self) -> Optional[int]:
         """OS pid of the live worker process (``None`` once degraded)."""
@@ -384,14 +447,48 @@ class _ProcessShardProxy:
         return self._call("pid")
 
     def kill_worker(self) -> None:
-        """SIGKILL the worker process (fault injection; tests, tooling).
+        """SIGKILL the primary worker process (fault injection).
 
         The next command on this proxy observes the death and triggers
-        supervised recovery — exactly the path a real worker crash takes.
+        supervised recovery — promotion of the freshest replica when one
+        is attached, respawn + restore otherwise — exactly the path a real
+        worker crash takes.
         """
         pid = self.worker_pid()
         if pid is not None:
             os.kill(pid, signal.SIGKILL)
+
+    def replica_pids(self) -> List[int]:
+        """OS pids of the live replica workers (empty without replicas)."""
+        if self._replicas is None:
+            return []
+        return self._replicas.pids()
+
+    def kill_replica(self, index: int = 0) -> None:
+        """SIGKILL one replica worker (fault injection).
+
+        The death is observed at the replica's next interaction (a read or
+        a forwarded op); the replica is detached and a replacement is
+        re-seeded from a fresh primary snapshot.
+        """
+        if self._replicas is None:
+            raise EngineError(f"shard {self.name!r} has no replicas")
+        self._replicas.kill(index)
+
+    def replication_info(self) -> Dict[str, object]:
+        """Proxy-side replication counters (cheap: no worker IPC)."""
+        return {
+            "respawns": self.respawns,
+            "promotions": self.promotions,
+            "restarts": self.restarts,
+            "degraded": self.degraded,
+            "seq": self._seq,
+            "replicas": (
+                None
+                if self._replicas is None
+                else self._replicas.statistics(self._seq)
+            ),
+        }
 
     # -- the engine surface the group needs ------------------------------
     @property
@@ -418,26 +515,48 @@ class _ProcessShardProxy:
         report, _, _ = self.finish_batch(self.start_batch(updates), updates)
         return report
 
+    def _read(self, op: str, *args):
+        """Serve a read from a replica when one can, else from the primary.
+
+        The replica is drained to the acknowledged sequence first, so its
+        answer is byte-identical to the primary's; a replica that dies is
+        detached and the read fails over (ultimately to the primary).
+        """
+        if self._replicas is not None and self._local is None and not self._closed:
+            served, result = self._replicas.read(op, args)
+            if served:
+                return result
+            self._replicas.replenish()
+        return self._execute(op, args)
+
     def matches_of(self, query_id: str) -> List[Dict[str, str]]:
-        return self._call("matches_of", query_id)
+        return self._read("matches_of", query_id)
 
     def has_matches(self, query_id: str) -> bool:
-        return self._call("has_matches", query_id)
+        return self._read("has_matches", query_id)
 
     def answer_delta_source(self, query_id: str) -> None:
         return None
 
     def satisfied_queries(self) -> FrozenSet[str]:
-        return self._call("satisfied")
+        return self._read("satisfied")
 
     def describe(self) -> Dict[str, object]:
-        info = dict(self._call("describe"))
+        info = dict(self._read("describe"))
         info["supervision"] = {
             "respawns": self.respawns,
+            "promotions": self.promotions,
+            "restarts": self.restarts,
             "replayed_ops": self.replayed_ops,
             "degraded": self.degraded,
             "ops_logged": len(self._ops_log),
             "worker_snapshot": self._snapshot_blob is not None,
+            "seq": self._seq,
+            "replicas": (
+                None
+                if self._replicas is None
+                else self._replicas.statistics(self._seq)
+            ),
         }
         return info
 
@@ -445,6 +564,8 @@ class _ProcessShardProxy:
         if self._closed:
             return
         self._closed = True
+        if self._replicas is not None:
+            self._replicas.close()
         self._pool.shutdown()
 
     # -- pickling (group snapshots) --------------------------------------
@@ -467,6 +588,8 @@ class _ProcessShardProxy:
             "query_ids": list(self._query_ids),
             "snapshot_every": self.snapshot_every,
             "max_respawns": self.max_respawns,
+            "respawn_window": self.respawn_window,
+            "replicas": self.replica_target,
             "blob": blob,
         }
 
@@ -478,15 +601,32 @@ class _ProcessShardProxy:
         self._query_ids = list(state["query_ids"])
         self.snapshot_every = state["snapshot_every"]
         self.max_respawns = state["max_respawns"]
+        self.respawn_window = state.get("respawn_window", 60.0)
+        self.replica_target = int(state.get("replicas", 0))
         self.respawns = 0
+        self.promotions = 0
+        self.restarts = 0
         self.replayed_ops = 0
         self.degraded = False
+        self._respawn_times = []
         self._local = None
         self._snapshot_blob = state["blob"]
+        self._snapshot_seq = 0
+        self._seq = 0
         self._ops_log = []
         self._closed = False
         self._pool = self._spawn_pool()
         self._restore_worker()
+        self._replicas = None
+        if self.replica_target:
+            # Replicas re-seed from the restored primary's state.
+            self._replicas = ReplicaSet(
+                self.name,
+                self._engine_kwargs,
+                self._injective,
+                self.replica_target,
+                snapshot_provider=self._replica_seed,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"_ProcessShardProxy({self.name!r}, queries={self.num_queries})"
@@ -530,6 +670,17 @@ class ShardedEngineGroup(ContinuousEngine):
         Process executor only: worker deaths a shard survives via
         respawn + restore before degrading gracefully to in-process serial
         execution.
+    replicas:
+        Process executor only: replica workers per shard.  Replicas
+        bootstrap from the primary's snapshot, tail its acknowledged-ops
+        log, absorb read traffic (``matches_of`` / ``has_matches`` /
+        ``describe`` round-robin across them, byte-identical answers), and
+        stand in for a dead primary via promotion.
+    respawn_window:
+        Process executor only: sliding window in seconds over which worker
+        deaths count against ``max_respawns`` — a shard only degrades on a
+        death *burst* inside the window, not on lifetime attrition.
+        ``None`` restores the lifetime cap.
     """
 
     def __init__(
@@ -543,6 +694,8 @@ class ShardedEngineGroup(ContinuousEngine):
         engine_kwargs: Optional[Dict[str, object]] = None,
         worker_snapshot_every: Optional[int] = 32,
         max_respawns: int = 3,
+        replicas: int = 0,
+        respawn_window: Optional[float] = 60.0,
     ) -> None:
         super().__init__(injective=injective)
         if num_shards < 1:
@@ -556,8 +709,18 @@ class ShardedEngineGroup(ContinuousEngine):
                 f"unknown shard executor {executor!r}; options: "
                 + ", ".join(SHARD_EXECUTORS)
             )
+        if replicas < 0:
+            raise EngineError("replicas must be non-negative")
+        if replicas and executor != "process":
+            raise EngineError(
+                "replicas require the process executor (a replica is a "
+                "worker process tailing its primary's op log)"
+            )
         self.assignment = assignment
         self.executor = executor
+        self.replicas_per_shard = replicas
+        self.rolling_restarts = 0
+        self._restart_lock: Optional[threading.Lock] = threading.Lock()
         kwargs = dict(engine_kwargs or {})
         if callable(engine):
             if executor == "process":
@@ -586,6 +749,8 @@ class ShardedEngineGroup(ContinuousEngine):
                     worker_injective,
                     snapshot_every=worker_snapshot_every,
                     max_respawns=max_respawns,
+                    replicas=replicas,
+                    respawn_window=respawn_window,
                 )
                 for _ in range(num_shards)
             ]
@@ -678,8 +843,65 @@ class ShardedEngineGroup(ContinuousEngine):
         """
         state = self.__dict__.copy()
         state["_thread_pool"] = None
+        state["_restart_lock"] = None
         state["_closed"] = False
         return state
+
+    # ------------------------------------------------------------------
+    # Rolling restarts
+    # ------------------------------------------------------------------
+    def rolling_restart(self) -> Dict[str, object]:
+        """Cycle every shard: drain → snapshot → respawn → tail-replay →
+        resume.  Returns per-shard pause seconds.
+
+        The group is driven one batch at a time, so the restart runs
+        between batches with no ``MatchDelta`` frame in flight: each shard
+        is drained by the synchronous snapshot pull, its replacement
+        worker restores that snapshot (in-process shards swap through the
+        same snapshot/restore pair), and the swap completes before the
+        next batch — zero missed or duplicated frames, byte-identical
+        answers.  A concurrent call raises
+        :class:`~repro.graph.errors.PersistenceError`; sequential repeat
+        calls are idempotent (each is just another restart cycle).
+        """
+        if self._closed:
+            raise PersistenceError("cannot rolling-restart a closed engine group")
+        if getattr(self, "_restart_lock", None) is None:
+            # Unpickled groups travel without their lock.
+            self._restart_lock = threading.Lock()
+        if not self._restart_lock.acquire(blocking=False):
+            raise PersistenceError("a rolling restart is already in progress")
+        try:
+            pauses: List[float] = []
+            for index, shard in enumerate(self.shards):
+                if isinstance(shard, _ProcessShardProxy):
+                    pauses.append(shard.restart())
+                else:
+                    start = time.perf_counter()
+                    self.shards[index] = ContinuousEngine.restore(shard.snapshot())
+                    pauses.append(time.perf_counter() - start)
+            self.rolling_restarts += 1
+            return {
+                "shards": len(self.shards),
+                "pause_seconds": [round(pause, 6) for pause in pauses],
+                "rolling_restarts": self.rolling_restarts,
+            }
+        finally:
+            self._restart_lock.release()
+
+    def replication_statistics(self) -> List[Dict[str, object]]:
+        """Per-process-shard replication counters (cheap: no worker IPC).
+
+        Empty for non-process executors.  Each entry reports the shard's
+        promotions, respawns, restarts, degraded flag, acknowledged
+        sequence, and — when replicas are attached — their read/reseed
+        counters and journal-seq lag behind the primary.
+        """
+        return [
+            shard.replication_info()
+            for shard in self.shards
+            if isinstance(shard, _ProcessShardProxy)
+        ]
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._closed:
@@ -976,6 +1198,10 @@ class ShardedEngineGroup(ContinuousEngine):
             description["degraded_shards"] = sum(
                 1 for proxy in proxies if proxy.degraded
             )
+            description["shard_promotions"] = [proxy.promotions for proxy in proxies]
+            description["shard_restarts"] = [proxy.restarts for proxy in proxies]
+            description["replicas_per_shard"] = self.replicas_per_shard
+            description["rolling_restarts"] = self.rolling_restarts
         description["per_shard"] = self.shard_statistics()
         return description
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 import signal
+import threading
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -543,6 +545,158 @@ class TestDurableEngineMechanics:
         with pytest.raises(ValueError):
             durable.process_batches([], 0)
         durable.close()
+
+
+# ----------------------------------------------------------------------
+# Snapshot generation fallback
+# ----------------------------------------------------------------------
+def durable_with_generations(directory, extra_tail=True):
+    """A closed durable directory holding >= 2 snapshot generations, plus
+    the in-memory oracle that saw the same stream."""
+    updates = interleaved_stream(40)
+    durable = DurableEngine(
+        ENGINE_FACTORIES["TRIC+"](), directory, snapshot_every=4
+    )
+    oracle = ENGINE_FACTORIES["TRIC+"]()
+    durable.register_all(patterns())
+    oracle.register_all(patterns())
+    for batch in batches_of(updates, 4):
+        durable.on_batch(batch)
+        oracle.on_batch(batch)
+    if extra_tail:
+        # Land past the last snapshot boundary so the live journal holds
+        # a tail the recovery has to bridge.
+        tail = [add("knows", "v0", "v2")]
+        durable.on_batch(tail)
+        oracle.on_batch(tail)
+    assert durable.snapshots_written >= 2
+    assert (directory / "snapshot.bin.1").exists()
+    durable.close()
+    return oracle
+
+
+class TestSnapshotGenerationFallback:
+    def test_corrupt_snapshot_falls_back_one_generation(self, tmp_path):
+        directory = tmp_path / "d"
+        oracle = durable_with_generations(directory)
+        snapshot = directory / "snapshot.bin"
+        corrupt_file_tail(snapshot, offset_from_end=snapshot.stat().st_size // 2)
+        recovered = DurableEngine.recover(directory)
+        assert recovered.snapshot_fallback
+        assert recovered.describe()["durability"]["snapshot_fallback"]
+        assert_same_answers(recovered, oracle)
+        # The fallback engine keeps journalling from the recovered seq.
+        suffix = [add("likes", "v4", "v5")]
+        recovered.on_batch(suffix)
+        oracle.on_batch(suffix)
+        assert_same_answers(recovered, oracle)
+        recovered.close()
+
+    def test_snapshot_lost_mid_rotation_falls_back(self, tmp_path):
+        directory = tmp_path / "d"
+        oracle = durable_with_generations(directory)
+        # A crash between the rotation and the new snapshot's rename
+        # leaves no snapshot.bin but a complete previous generation.
+        (directory / "snapshot.bin").unlink()
+        recovered = DurableEngine.recover(directory)
+        assert recovered.snapshot_fallback
+        assert_same_answers(recovered, oracle)
+        recovered.close()
+
+    def test_both_generations_corrupt_refuses(self, tmp_path):
+        directory = tmp_path / "d"
+        durable_with_generations(directory)
+        for name in ("snapshot.bin", "snapshot.bin.1"):
+            path = directory / name
+            corrupt_file_tail(path, offset_from_end=path.stat().st_size // 2)
+        with pytest.raises(SnapshotCorruptError, match="both snapshot generations"):
+            DurableEngine.recover(directory)
+
+    def test_fallback_refuses_unbridgeable_journal_gap(self, tmp_path):
+        directory = tmp_path / "d"
+        durable_with_generations(directory)
+        snapshot = directory / "snapshot.bin"
+        corrupt_file_tail(snapshot, offset_from_end=snapshot.stat().st_size // 2)
+        # Losing the preserved segment leaves a sequence gap between the
+        # previous snapshot and the live journal tail: typed refusal, not
+        # a silently stale recovery.
+        (directory / "journal.wal.1").unlink()
+        with pytest.raises(SnapshotCorruptError, match="bridge|gap"):
+            DurableEngine.recover(directory)
+
+    def test_clean_recovery_does_not_touch_previous_generation(self, tmp_path):
+        directory = tmp_path / "d"
+        oracle = durable_with_generations(directory)
+        recovered = DurableEngine.recover(directory)
+        assert not recovered.snapshot_fallback
+        assert recovered.describe()["durability"]["previous_generation"]
+        assert_same_answers(recovered, oracle)
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
+# Durable lifecycle races
+# ----------------------------------------------------------------------
+class TestDurableLifecycleRaces:
+    def test_concurrent_close_waits_for_inflight_flush(self, tmp_path):
+        """close() during a writer's flush waits, never tears the journal."""
+        directory = tmp_path / "d"
+        durable = DurableEngine(ENGINE_FACTORIES["TRIC+"](), directory)
+        durable.register_all(patterns())
+        stream = interleaved_stream(200)
+        unexpected = []
+        closed = threading.Event()
+
+        def writer():
+            index = 0
+            while not closed.is_set():
+                batch = stream[index % 190 : index % 190 + 4]
+                index += 4
+                try:
+                    durable.on_batch(batch)
+                except PersistenceError:
+                    break  # closed under us: the typed, expected outcome
+                except Exception as error:  # pragma: no cover - bug trap
+                    unexpected.append(error)
+                    break
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        durable.close()
+        closed.set()
+        for thread in threads:
+            thread.join()
+        assert not unexpected
+        # Every record the journal holds is whole: no torn tail, no
+        # interior damage — the race never interrupted a flush.
+        _records, _good, torn = parse_frames(
+            (directory / "journal.wal").read_bytes()
+        )
+        assert not torn
+
+    def test_closed_durable_raises_typed_errors(self, tmp_path):
+        durable = DurableEngine(ENGINE_FACTORIES["TRIC+"](), tmp_path / "d")
+        durable.register(patterns()[0])
+        durable.close()
+        with pytest.raises(PersistenceError, match="closed"):
+            durable.on_batch([add("knows", "v0", "v1")])
+        with pytest.raises(PersistenceError, match="closed"):
+            durable.register(patterns()[1])
+        with pytest.raises(PersistenceError, match="closed"):
+            durable.write_snapshot()
+
+    def test_recover_during_snapshot_replace_leftover_tmp(self, tmp_path):
+        """A crash mid-``write_snapshot`` leaves a ``.tmp`` file behind;
+        recovery ignores it and resumes from the committed state."""
+        directory = tmp_path / "d"
+        oracle = durable_with_generations(directory)
+        (directory / "snapshot.bin.tmp").write_bytes(b"half-written garbage")
+        recovered = DurableEngine.recover(directory)
+        assert not recovered.snapshot_fallback
+        assert_same_answers(recovered, oracle)
+        recovered.close()
 
 
 # ----------------------------------------------------------------------

@@ -1,7 +1,7 @@
 """Fault-injection harness: crash the serving stack on purpose, from a shell.
 
-Three subcommands, mirroring the failure modes the durability layer
-(`src/repro/persistence/`) recovers from:
+Seven subcommands, mirroring the failure modes the durability and
+replication layers (`src/repro/persistence/`) recover from:
 
 ``kill-worker``
     Run ``repro-serve --executor process`` twice over the same seeded
@@ -9,6 +9,32 @@ Three subcommands, mirroring the failure modes the durability layer
     processes mid-stream — and assert the delivered delta stream is
     byte-identical and the stderr summary reports the respawns.  This is
     the CI recovery smoke.
+
+``kill-primary``
+    Replay one seeded stream through a serial oracle group and a
+    process-executor group with replicas side by side, SIGKILLing shard
+    *primary* workers mid-stream.  The verdict proves the freshest
+    replica was promoted and every delivered ``MatchDelta`` frame stayed
+    byte-identical to the never-crashed oracle — zero missed, zero
+    duplicated.
+
+``kill-replica``
+    Same side-by-side replay, but the SIGKILLs land on *replica*
+    workers while reads are actively routed to them.  The verdict proves
+    reads failed over to surviving workers (no wrong answers, no
+    errors) and replacements were re-seeded from the primary's snapshot.
+
+``rolling-restart``
+    Same side-by-side replay, invoking
+    ``ShardedEngineGroup.rolling_restart()`` every N batches: drain,
+    snapshot, respawn, resume.  The verdict proves zero frames were
+    missed or duplicated across every restart, and reports the pause.
+
+``corrupt-snapshot``
+    Build a durable engine with at least two snapshot generations, flip
+    a byte inside the *current* ``snapshot.bin``, then recover.  The
+    verdict proves recovery fell back to the previous generation plus
+    its preserved journal segment and converged on oracle answers.
 
 ``tear-tail``
     Truncate the final bytes of a durability directory's ``journal.wal``
@@ -24,6 +50,10 @@ Three subcommands, mirroring the failure modes the durability layer
 Run from the repository root::
 
     PYTHONPATH=src python tools/faultinject.py kill-worker --updates 2000
+    PYTHONPATH=src python tools/faultinject.py kill-primary --kills 2
+    PYTHONPATH=src python tools/faultinject.py kill-replica --replicas 2
+    PYTHONPATH=src python tools/faultinject.py rolling-restart --every 20
+    PYTHONPATH=src python tools/faultinject.py corrupt-snapshot
     PYTHONPATH=src python tools/faultinject.py tear-tail -d /tmp/state
     PYTHONPATH=src python tools/faultinject.py corrupt-tail -d /tmp/state --offset 400
 
@@ -230,6 +260,289 @@ def cmd_corrupt_tail(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# Replication verdicts: oracle-vs-faulted side-by-side replay
+# ----------------------------------------------------------------------
+# Primary-vs-replica kills need to land on a *specific* worker, which the
+# /proc child-pid scan above cannot distinguish; these modes therefore run
+# in-process and inject faults through the proxy API (``kill_worker``,
+# ``kill_replica``, ``rolling_restart``) — the same SIGKILL the shell
+# harness sends, aimed precisely.
+
+
+def _replication_fixture(args):
+    """Seeded update stream + query workload shared by oracle and faulted."""
+    from repro.bench.experiments import build_stream, build_workload
+
+    stream = build_stream(args.dataset, args.updates, args.seed)
+    workload = build_workload(
+        stream,
+        num_queries=args.queries,
+        avg_edges=5,
+        selectivity=0.25,
+        overlap=0.35,
+        seed=args.seed + 1,
+    )
+    return list(stream.updates()), workload.queries
+
+
+def _run_faulted(args, *, fault=None, probe_reads=False):
+    """Replay the seeded stream through a serial oracle group and a
+    process-executor group with replicas, side by side.
+
+    ``fault(tick, group, reports)`` runs between batches on the faulted
+    group only.  Returns per-tick frame identity, final-answer identity,
+    and the faulted group's replication counters.
+    """
+    from repro.bench.experiments import pick_subscribed_queries
+    from repro.pubsub import SubscriptionBroker
+    from repro.pubsub.sharding import ShardedEngineGroup
+
+    updates, queries = _replication_fixture(args)
+    oracle = ShardedEngineGroup(args.engine, args.shards, executor="serial")
+    group = ShardedEngineGroup(
+        args.engine, args.shards, executor="process", replicas=args.replicas
+    )
+    try:
+        for pattern in queries:
+            oracle.register(pattern)
+            group.register(pattern)
+        subscribed = pick_subscribed_queries(sorted(oracle.queries), args.subscribe)
+        broker_oracle = SubscriptionBroker(oracle)
+        broker_group = SubscriptionBroker(group)
+        sub_oracle = broker_oracle.subscribe("probe", subscribed)
+        sub_group = broker_group.subscribe("probe", subscribed)
+        mismatched_ticks = []
+        read_mismatches = 0
+        restart_reports = []
+        tick = 0
+        for start in range(0, len(updates), args.batch_size):
+            if fault is not None:
+                fault(tick, group, restart_reports)
+            batch = updates[start : start + args.batch_size]
+            broker_oracle.on_batch(batch)
+            broker_group.on_batch(batch)
+            frames_oracle = [
+                json.dumps(delta.as_dict(), sort_keys=True)
+                for delta in sub_oracle.drain()
+            ]
+            frames_group = [
+                json.dumps(delta.as_dict(), sort_keys=True)
+                for delta in sub_group.drain()
+            ]
+            if frames_oracle != frames_group:
+                mismatched_ticks.append(tick)
+            if probe_reads and tick % 3 == 0:
+                for query_id in subscribed:
+                    if group.matches_of(query_id) != oracle.matches_of(query_id):
+                        read_mismatches += 1
+            tick += 1
+        answers_identical = (
+            all(
+                group.matches_of(query_id) == oracle.matches_of(query_id)
+                for query_id in sorted(oracle.queries)
+            )
+            and group.satisfied_queries() == oracle.satisfied_queries()
+        )
+        return {
+            "ticks": tick,
+            "mismatched_ticks": mismatched_ticks,
+            "read_mismatches": read_mismatches,
+            "answers_identical": answers_identical,
+            "restart_reports": restart_reports,
+            "replication": group.replication_statistics(),
+            "rolling_restarts": group.rolling_restarts,
+        }
+    finally:
+        group.close()
+        oracle.close()
+
+
+def _kill_ticks(args) -> list:
+    """Kill ticks spread evenly across the replay, never tick 0."""
+    total_ticks = (args.updates + args.batch_size - 1) // args.batch_size
+    return sorted(
+        {
+            max(1, (index + 1) * total_ticks // (args.kills + 1))
+            for index in range(args.kills)
+        }
+    )
+
+
+def cmd_kill_primary(args) -> int:
+    kill_ticks = set(_kill_ticks(args))
+    killed = []
+
+    def fault(tick, group, _reports):
+        if tick in kill_ticks:
+            shard = len(killed) % args.shards
+            group.shards[shard].kill_worker()
+            killed.append(shard)
+
+    result = _run_faulted(args, fault=fault)
+    promotions = sum(info["promotions"] for info in result["replication"])
+    respawns = sum(info["respawns"] for info in result["replication"])
+    verdict = {
+        "mode": "kill-primary",
+        "primaries_killed": len(killed),
+        "promotions": promotions,
+        "respawns": respawns,
+        "ticks": result["ticks"],
+        "mismatched_ticks": result["mismatched_ticks"],
+        "answers_identical": result["answers_identical"],
+        "replication": result["replication"],
+    }
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    recovered = (
+        len(killed) >= 1
+        and promotions >= 1
+        and promotions + respawns >= len(killed)
+        and not result["mismatched_ticks"]
+        and result["answers_identical"]
+    )
+    return 0 if recovered else 1
+
+
+def cmd_kill_replica(args) -> int:
+    kill_ticks = set(_kill_ticks(args))
+    killed = []
+
+    def fault(tick, group, _reports):
+        if tick in kill_ticks:
+            shard = len(killed) % args.shards
+            group.shards[shard].kill_replica()
+            killed.append(shard)
+
+    result = _run_faulted(args, fault=fault, probe_reads=True)
+    deaths = sum(
+        info["replicas"]["deaths"]
+        for info in result["replication"]
+        if info["replicas"] is not None
+    )
+    reseeds = sum(
+        info["replicas"]["reseeds"]
+        for info in result["replication"]
+        if info["replicas"] is not None
+    )
+    reads_served = sum(
+        info["replicas"]["reads_served"]
+        for info in result["replication"]
+        if info["replicas"] is not None
+    )
+    verdict = {
+        "mode": "kill-replica",
+        "replicas_killed": len(killed),
+        "replica_deaths": deaths,
+        "replica_reseeds": reseeds,
+        "reads_served_by_replicas": reads_served,
+        "read_mismatches": result["read_mismatches"],
+        "ticks": result["ticks"],
+        "mismatched_ticks": result["mismatched_ticks"],
+        "answers_identical": result["answers_identical"],
+        "replication": result["replication"],
+    }
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    recovered = (
+        len(killed) >= 1
+        and deaths >= len(killed)
+        and reseeds >= len(killed)
+        and reads_served > 0
+        and result["read_mismatches"] == 0
+        and not result["mismatched_ticks"]
+        and result["answers_identical"]
+    )
+    return 0 if recovered else 1
+
+
+def cmd_rolling_restart(args) -> int:
+    def fault(tick, group, reports):
+        if tick and tick % args.every == 0:
+            reports.append(group.rolling_restart())
+
+    result = _run_faulted(args, fault=fault)
+    pauses = [report["pause_seconds"] for report in result["restart_reports"]]
+    flat = sorted(pause for shard_pauses in pauses for pause in shard_pauses)
+    verdict = {
+        "mode": "rolling-restart",
+        "rolling_restarts": result["rolling_restarts"],
+        "pause_seconds": pauses,
+        "pause_max_s": flat[-1] if flat else None,
+        "ticks": result["ticks"],
+        "mismatched_ticks": result["mismatched_ticks"],
+        "answers_identical": result["answers_identical"],
+        "replication": result["replication"],
+    }
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    recovered = (
+        result["rolling_restarts"] >= 1
+        and result["rolling_restarts"] == len(result["restart_reports"])
+        and not result["mismatched_ticks"]
+        and result["answers_identical"]
+    )
+    return 0 if recovered else 1
+
+
+def cmd_corrupt_snapshot(args) -> int:
+    import tempfile
+
+    from repro.engines import create_engine
+    from repro.persistence import DurableEngine
+
+    updates, queries = _replication_fixture(args)
+    oracle = create_engine(args.engine)
+    for pattern in queries:
+        oracle.register(pattern)
+    with tempfile.TemporaryDirectory() as scratch:
+        state = Path(scratch) / "state"
+        durable = DurableEngine(
+            create_engine(args.engine), state, snapshot_every=args.snapshot_every
+        )
+        for pattern in queries:
+            durable.register(pattern)
+        for start in range(0, len(updates), args.batch_size):
+            batch = updates[start : start + args.batch_size]
+            oracle.on_batch(batch)
+            durable.on_batch(batch)
+        generations = durable.snapshots_written
+        durable.close()
+        previous = state / "snapshot.bin.1"
+        if not previous.exists():
+            print(
+                json.dumps(
+                    {
+                        "error": "need at least two snapshot generations; "
+                        "lower --snapshot-every or raise --updates",
+                        "snapshots_written": generations,
+                    }
+                )
+            )
+            return 1
+        snapshot = state / "snapshot.bin"
+        # Flip a byte mid-file: inside the payload, past the magic/header,
+        # so the checksum (not a length check) is what catches it.
+        corrupt_file_tail(snapshot, offset_from_end=snapshot.stat().st_size // 2)
+        recovered = DurableEngine.recover(
+            state, engine_factory=lambda: create_engine(args.engine)
+        )
+        identical = (
+            all(
+                recovered.matches_of(query_id) == oracle.matches_of(query_id)
+                for query_id in sorted(oracle.queries)
+            )
+            and recovered.satisfied_queries() == oracle.satisfied_queries()
+        )
+        verdict = {
+            "mode": "corrupt-snapshot",
+            "snapshots_written": generations,
+            "snapshot_fallback": recovered.snapshot_fallback,
+            "replayed_records": recovered.replayed_records,
+            "answers_identical": identical,
+        }
+        recovered.close()
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    return 0 if verdict["snapshot_fallback"] and identical else 1
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
@@ -257,6 +570,59 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also journal the faulted run to a temp directory")
     kill.add_argument("--timeout", type=float, default=600.0)
     kill.set_defaults(handler=cmd_kill_worker)
+
+    def add_replay_options(sub, *, replicas_default=1):
+        sub.add_argument("--dataset", default="snb")
+        sub.add_argument("--engine", default="TRIC+")
+        sub.add_argument("--updates", type=int, default=600)
+        sub.add_argument("--queries", type=int, default=30)
+        sub.add_argument("--shards", type=int, default=2)
+        sub.add_argument("--subscribe", type=int, default=5)
+        sub.add_argument("--batch-size", type=int, default=8)
+        sub.add_argument("--seed", type=int, default=17)
+        sub.add_argument("--replicas", type=int, default=replicas_default,
+                         help=f"replica workers per shard (default {replicas_default})")
+
+    primary = commands.add_parser(
+        "kill-primary",
+        help="SIGKILL shard primaries mid-stream; prove replica promotion "
+        "keeps delivery byte-identical to an uncrashed oracle",
+    )
+    add_replay_options(primary)
+    primary.add_argument("--kills", type=int, default=2,
+                         help="primaries to SIGKILL, spread across the replay (default 2)")
+    primary.set_defaults(handler=cmd_kill_primary)
+
+    replica = commands.add_parser(
+        "kill-replica",
+        help="SIGKILL replica workers mid-stream; prove read failover and "
+        "re-seeding keep every answer identical to the oracle",
+    )
+    add_replay_options(replica)
+    replica.add_argument("--kills", type=int, default=2,
+                         help="replicas to SIGKILL, spread across the replay (default 2)")
+    replica.set_defaults(handler=cmd_kill_replica)
+
+    rolling = commands.add_parser(
+        "rolling-restart",
+        help="rolling-restart every shard mid-stream; prove zero missed or "
+        "duplicated delta frames vs an unrestarted oracle",
+    )
+    add_replay_options(rolling)
+    rolling.add_argument("--every", type=int, default=25,
+                         help="batches between rolling restarts (default 25)")
+    rolling.set_defaults(handler=cmd_rolling_restart)
+
+    snapshot = commands.add_parser(
+        "corrupt-snapshot",
+        help="corrupt the current snapshot generation; prove recovery falls "
+        "back to the previous generation plus its journal segment",
+    )
+    add_replay_options(snapshot, replicas_default=0)
+    snapshot.add_argument("--snapshot-every", type=int, default=20,
+                          help="records between snapshots (default 20; at "
+                          "least two generations must exist)")
+    snapshot.set_defaults(handler=cmd_corrupt_snapshot)
 
     tear = commands.add_parser(
         "tear-tail", help="truncate a journal's final bytes; show recovery"
